@@ -1,0 +1,201 @@
+// C1 — §3/§4.1: Elvin's "client-server architecture, limiting its
+// scalability" vs. Siena-style content-based routing that "shows
+// evidence of being globally scalable", with subscription flooding as
+// the no-routing-state ablation.
+//
+// Fixed workload (publishers + selective subscribers spread over a
+// wide-area topology), three event services; report total messages,
+// bytes, hotspot load (busiest node's delivered messages) and delivery
+// latency.
+#include <memory>
+
+#include "bench_util.hpp"
+#include "sim/metrics.hpp"
+#include "pubsub/central_service.hpp"
+#include "pubsub/flooding_network.hpp"
+#include "pubsub/scribe.hpp"
+#include "pubsub/siena_network.hpp"
+#include "overlay/overlay_network.hpp"
+
+using namespace aa;
+
+namespace {
+
+struct RunResult {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t hotspot = 0;  // max delivered to any single host
+  double mean_latency_ms = 0;
+  std::uint64_t delivered = 0;
+};
+
+struct Workload {
+  int brokers;
+  int subscribers;
+  int publishers = 16;
+  int events_per_publisher = 20;
+};
+
+/// Subscribers want one of 8 topics; publishers round-robin topics, so
+/// ~1/8 of subscribers match each event.
+RunResult run(const Workload& w, const std::string& mode) {
+  sim::Scheduler sched;
+  const std::size_t hosts =
+      static_cast<std::size_t>(w.brokers + w.subscribers + w.publishers);
+  sim::TransitStubTopology::Params tp;
+  tp.regions = 8;
+  auto topo = std::make_shared<sim::TransitStubTopology>(hosts, tp);
+  sim::Network net(sched, topo);
+
+  std::vector<sim::HostId> broker_hosts;
+  for (int b = 0; b < w.brokers; ++b) broker_hosts.push_back(static_cast<sim::HostId>(b));
+
+  std::unique_ptr<pubsub::EventService> service;
+  std::unique_ptr<overlay::OverlayNetwork> overlay;  // for the scribe mode
+  pubsub::SienaNetwork* siena = nullptr;
+  if (mode == "central") {
+    service = std::make_unique<pubsub::CentralService>(net, 0);
+  } else if (mode == "scribe") {
+    overlay::OverlayNetwork::Params op;
+    op.maintenance_period = 0;
+    overlay = std::make_unique<overlay::OverlayNetwork>(net, op);
+    std::vector<sim::HostId> all;
+    for (sim::HostId h = 0; h < hosts; ++h) all.push_back(h);
+    overlay->build_ring(all);
+    pubsub::ScribeNetwork::Params sp;
+    sp.refresh_period = 0;
+    service = std::make_unique<pubsub::ScribeNetwork>(net, *overlay, sp);
+  } else if (mode == "flooding") {
+    auto flooding = std::make_unique<pubsub::FloodingNetwork>(net, broker_hosts);
+    flooding->connect_tree();
+    for (int s = 0; s < w.subscribers; ++s) {
+      flooding->attach_client(static_cast<sim::HostId>(w.brokers + s),
+                              broker_hosts[static_cast<std::size_t>(s % w.brokers)]);
+    }
+    for (int p = 0; p < w.publishers; ++p) {
+      flooding->attach_client(static_cast<sim::HostId>(w.brokers + w.subscribers + p),
+                              broker_hosts[static_cast<std::size_t>(p % w.brokers)]);
+    }
+    service = std::move(flooding);
+  } else {
+    auto s = std::make_unique<pubsub::SienaNetwork>(net, broker_hosts);
+    s->connect_tree();
+    if (mode == "siena-adv") s->set_advertisement_forwarding(true);
+    siena = s.get();
+    service = std::move(s);
+  }
+  if (mode == "siena-adv") {
+    // Publishers declare their event class (Siena's advertisement
+    // semantics) so subscriptions chase them instead of flooding.
+    for (int p = 0; p < w.publishers; ++p) {
+      event::Filter adv;
+      adv.where("type", event::Op::kEq, "reading");
+      service->advertise(static_cast<sim::HostId>(w.brokers + w.subscribers + p), adv);
+    }
+    sched.run_until(sched.now() + duration::seconds(10));
+  }
+
+  sim::Histogram latency;
+  std::uint64_t delivered = 0;
+  SimTime published_at = 0;
+  for (int s = 0; s < w.subscribers; ++s) {
+    event::Filter f;
+    f.where("type", event::Op::kEq, "reading")
+        .where("topic", event::Op::kEq, "topic" + std::to_string(s % 8));
+    service->subscribe(static_cast<sim::HostId>(w.brokers + s), f, [&](const event::Event&) {
+      ++delivered;
+      latency.record(to_millis(sched.now() - published_at));
+    });
+  }
+  sched.run_until(sched.now() + duration::seconds(30));
+  net.reset_stats();
+
+  for (int round = 0; round < w.events_per_publisher; ++round) {
+    for (int p = 0; p < w.publishers; ++p) {
+      event::Event e("reading");
+      e.set("topic", "topic" + std::to_string((round + p) % 8)).set("value", round);
+      published_at = sched.now();
+      service->publish(static_cast<sim::HostId>(w.brokers + w.subscribers + p), e);
+      sched.run_until(sched.now() + duration::seconds(2));  // drain before next publish
+    }
+  }
+  sched.run_until(sched.now() + duration::seconds(10));
+  (void)siena;
+
+  RunResult r;
+  r.messages = net.stats().messages_sent;
+  r.bytes = net.stats().bytes_sent;
+  r.delivered = delivered;
+  for (sim::HostId h = 0; h < hosts; ++h) {
+    r.hotspot = std::max(r.hotspot, net.delivered_to(h));
+  }
+  r.mean_latency_ms = latency.mean();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::headline("C1 (§3/§4.1)",
+                  "event service scalability: central (Elvin) vs flooding vs content-based "
+                  "(Siena)");
+
+  for (int subscribers : {64, 256}) {
+    Workload w{16, subscribers};
+    std::printf("\n%d subscribers, %d brokers, %d publishers x %d events:\n", w.subscribers,
+                w.brokers, w.publishers, w.events_per_publisher);
+    bench::Table table({"service", "messages", "bytes", "hotspot", "lat ms", "delivered"});
+    for (const std::string mode : {"central", "flooding", "siena", "siena-adv", "scribe"}) {
+      const auto r = run(w, mode);
+      table.row({mode, bench::fmt("%llu", (unsigned long long)r.messages),
+                 bench::fmt("%llu", (unsigned long long)r.bytes),
+                 bench::fmt("%llu", (unsigned long long)r.hotspot),
+                 bench::fmt("%.1f", r.mean_latency_ms),
+                 bench::fmt("%llu", (unsigned long long)r.delivered)});
+    }
+  }
+
+  std::printf("\n(b) Subscription-state economics (64 brokers in a chain, 64 subscribers\n"
+              "    at one end): covering-based pruning vs worst cases:\n");
+  {
+    bench::Table sub_table({"filters", "fwd msgs", "suppressed", "sum tables"});
+    for (const std::string shape : {"identical", "nested", "disjoint"}) {
+      sim::Scheduler sched;
+      auto topo = std::make_shared<sim::UniformTopology>(80, duration::millis(5));
+      sim::Network net(sched, topo);
+      std::vector<sim::HostId> brokers;
+      for (sim::HostId h = 0; h < 64; ++h) brokers.push_back(h);
+      pubsub::SienaNetwork ps(net, brokers);
+      for (sim::HostId h = 0; h + 1 < 64; ++h) (void)ps.connect(h, h + 1);
+      ps.attach_client(70, 63);
+      for (int i = 0; i < 64; ++i) {
+        event::Filter f;
+        if (shape == "identical") {
+          f.where("v", event::Op::kGt, 0.0);
+        } else if (shape == "nested") {
+          f.where("v", event::Op::kGt, static_cast<double>(i));
+        } else {
+          f.where("topic", event::Op::kEq, "t" + std::to_string(i));
+        }
+        ps.subscribe(70, f, [](const event::Event&) {});
+      }
+      sched.run();
+      const auto st = ps.total_broker_stats();
+      std::uint64_t tables = 0;
+      for (sim::HostId h = 0; h < 64; ++h) tables += ps.broker(h)->table_size();
+      sub_table.row({shape, bench::fmt("%llu", (unsigned long long)st.subscriptions_forwarded),
+                     bench::fmt("%llu", (unsigned long long)st.subscriptions_suppressed),
+                     bench::fmt("%llu", (unsigned long long)tables)});
+    }
+    std::printf("(identical: one filter covers the rest; nested: the widest covers all;\n"
+                " disjoint: nothing covers, every filter floods — the covering relation\n"
+                " is what keeps distributed routing state sub-linear.)\n");
+  }
+
+  std::printf("\nShape check: all services deliver the same events, but the central\n"
+              "server is the hotspot (every message funnels through one node);\n"
+              "flooding spends broker messages on uninterested branches; the\n"
+              "content-based router's hotspot and traffic stay lowest and grow\n"
+              "slowest with population — the paper's scalability argument.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// C4 — §4.6: "a rule might create 5 copies of some data for resilience,
+// but over time some of these might become unavailable — in which case
+// further copies should be made.  An obvious analogy is with RAID
+// systems, which self-heal."
+//
+// Objects stored at k=5; nodes crash at rate lambda; measure availability
+// (fraction of reads that succeed), surviving copy counts and repair
+// traffic, with healing on vs off, across churn intensities.
+#include <memory>
+
+#include "bench_util.hpp"
+#include "sim/metrics.hpp"
+#include "overlay/overlay_network.hpp"
+#include "sim/churn.hpp"
+#include "storage/object_store.hpp"
+
+using namespace aa;
+
+namespace {
+
+struct RunResult {
+  double min_copies = 0;     // min over objects at the end
+  double mean_copies = 0;
+  double availability = 0;   // successful reads / attempted
+  std::uint64_t heal_pushes = 0;
+};
+
+RunResult run(SimDuration mean_departure, bool healing, int objects) {
+  sim::Scheduler sched;
+  auto topo = std::make_shared<sim::TransitStubTopology>(48, sim::TransitStubTopology::Params{});
+  sim::Network net(sched, topo);
+  overlay::OverlayNetwork::Params op;
+  op.maintenance_period = duration::seconds(5);
+  overlay::OverlayNetwork overlay(net, op);
+  std::vector<sim::HostId> hosts;
+  for (sim::HostId h = 0; h < 48; ++h) hosts.push_back(h);
+  overlay.build_ring(hosts);
+
+  storage::ObjectStore::Params sp;
+  sp.replicas = 5;
+  sp.healing_period = healing ? duration::seconds(10) : 0;
+  sp.promiscuous_cache = false;  // availability must come from replicas
+  storage::ObjectStore store(net, overlay, sp);
+
+  Rng rng(23);
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < objects; ++i) {
+    ids.push_back(store.put(0, to_bytes("payload-" + std::to_string(i))));
+  }
+  sched.run_for(duration::seconds(5));
+
+  sim::ChurnInjector::Params cp;
+  cp.mean_departure_interval = mean_departure;
+  cp.mean_downtime = duration::seconds(240);
+  cp.graceful_fraction = 0.0;
+  cp.seed = 7;
+  sim::ChurnInjector churn(net, cp);
+  churn.start({0});
+
+  // 10 virtual minutes of churn with periodic read probes.
+  int attempted = 0, succeeded = 0;
+  for (int round = 0; round < 20; ++round) {
+    sched.run_for(duration::seconds(30));
+    for (int probe = 0; probe < 5; ++probe) {
+      sim::HostId reader = static_cast<sim::HostId>(rng.below(48));
+      while (!net.host_up(reader)) reader = static_cast<sim::HostId>(rng.below(48));
+      ++attempted;
+      store.get(reader, ids[rng.below(ids.size())], [&](Result<Bytes> r) {
+        if (r.is_ok()) ++succeeded;
+      });
+    }
+  }
+  churn.stop();
+  sched.run_for(duration::seconds(60));
+
+  RunResult r;
+  double total = 0;
+  int min_copies = 1 << 20;
+  for (const auto& id : ids) {
+    const int copies = store.live_replicas(id);
+    total += copies;
+    min_copies = std::min(min_copies, copies);
+  }
+  r.min_copies = min_copies;
+  r.mean_copies = total / static_cast<double>(ids.size());
+  r.availability = attempted > 0 ? static_cast<double>(succeeded) / attempted : 0;
+  r.heal_pushes = store.stats().heal_pushes;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::headline("C4 (§4.6)", "self-healing replication under churn (the RAID analogy)");
+
+  bench::Table table({"departure s", "healing", "availability", "copies mean", "copies min",
+                      "heal pushes"});
+  for (SimDuration mean_departure : {duration::seconds(60), duration::seconds(15)}) {
+    for (bool healing : {false, true}) {
+      const auto r = run(mean_departure, healing, 25);
+      table.row({bench::fmt("%lld", (long long)(mean_departure / 1000000)),
+                 healing ? "on" : "off", bench::fmt("%.1f%%", r.availability * 100),
+                 bench::fmt("%.1f", r.mean_copies), bench::fmt("%.0f", r.min_copies),
+                 bench::fmt("%llu", (unsigned long long)r.heal_pushes)});
+    }
+  }
+
+  std::printf("\nShape check: without healing, copy counts decay under churn and\n"
+              "availability sags as replicas die faster than they return; with\n"
+              "healing, the sweep recreates lost copies and keeps counts pinned\n"
+              "near 5 and availability near 100%%, at the cost of repair traffic.\n");
+  return 0;
+}

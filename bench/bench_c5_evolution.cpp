@@ -1,0 +1,162 @@
+// C5 — §4.4: "As events arise that cause a given constraint to be
+// violated (such as the sudden unavailability of a particular node),
+// it is the role of the monitoring engine to make appropriate
+// adjustments to satisfy the constraint again."
+//
+// Constraints of the paper's own example form ("at least 5 pipeline
+// components ... within a given geographical region") are kept
+// satisfied by the evolution engine while instance hosts are killed.
+// Measures time-to-repair per violation and constraint satisfaction
+// over time; ablates graceful departures (withdraw events) vs silent
+// crashes (failure-monitor detection) and the control-loop period.
+#include <memory>
+
+#include "bench_util.hpp"
+#include "sim/metrics.hpp"
+#include "deploy/evolution.hpp"
+#include "pubsub/siena_network.hpp"
+#include "sim/churn.hpp"
+
+using namespace aa;
+
+namespace {
+
+struct RunResult {
+  int violations = 0;
+  int repaired = 0;
+  double mean_repair_s = 0;
+  double p95_repair_s = 0;
+  std::uint64_t deployments = 0;
+};
+
+RunResult run(bool graceful, SimDuration control_period, SimDuration monitor_period,
+              int kills) {
+  sim::Scheduler sched;
+  sim::TransitStubTopology::Params tp;
+  tp.regions = 4;
+  auto topo = std::make_shared<sim::TransitStubTopology>(32, tp);
+  sim::Network net(sched, topo);
+  pubsub::SienaNetwork bus(net, {0, 1, 2, 3});
+  bus.connect_tree();
+
+  bundle::ThinServerRuntime runtime(net, "secret");
+  runtime.register_installer("svc", [](const bundle::CodeBundle&, sim::HostId) {
+    return Result<std::function<void()>>(std::function<void()>([]() {}));
+  });
+  bundle::BundleDeployer deployer(net, runtime);
+  for (sim::HostId h = 0; h < 32; ++h) runtime.start_server(h, {"run.svc"});
+
+  deploy::ResourceAdvertiser adv(net, bus, duration::seconds(10));
+  for (sim::HostId h = 4; h < 32; ++h) {
+    adv.advertise(h, "r" + std::to_string(topo->region_of(h)), {"run.svc"});
+  }
+  // Silent crashes are detected by the failure monitor (§4.4's
+  // monitoring components) rather than a withdrawal event.
+  deploy::FailureMonitor monitor(net, bus, /*monitor_host=*/1, monitor_period,
+                                 duration::seconds(2));
+
+  deploy::EvolutionEngine::Params ep;
+  ep.engine_host = 0;
+  ep.control_period = control_period;
+  deploy::EvolutionEngine engine(net, bus, runtime, deployer, ep);
+
+  bundle::CodeBundle proto("svc-proto", "svc", xml::Element("config"));
+  proto.require_capability("run.svc");
+  deploy::PlacementConstraint c;
+  c.id = "five-in-r1";
+  c.kind = "replication";
+  c.min_instances = 5;
+  c.region = "r1";
+  c.required_capabilities = {"run.svc"};
+  c.prototype = proto;
+  engine.add_constraint(c);
+  sched.run_for(duration::seconds(40));
+
+  // Ground truth, independent of the engine's possibly-stale view: the
+  // constraint is really satisfied when >= 5 *live* r1 hosts run an
+  // instance.
+  auto truly_satisfied = [&]() {
+    int live = 0;
+    for (sim::HostId h = 4; h < 32; ++h) {
+      if (topo->region_of(h) == 1 && net.host_up(h) && !runtime.installed_names(h).empty()) {
+        ++live;
+      }
+    }
+    return live >= 5;
+  };
+
+  RunResult r;
+  sim::Histogram repair;
+  sim::ChurnInjector churn(net, {});
+  Rng rng(31);
+  for (int kill = 0; kill < kills; ++kill) {
+    // Pick a live host currently running an instance.
+    sim::HostId victim = sim::kNoHost;
+    for (sim::HostId h = 5; h < 32; ++h) {  // skip infrastructure host picks
+      if (topo->region_of(h) == 1 && net.host_up(h) && !runtime.installed_names(h).empty()) {
+        victim = h;
+        break;
+      }
+    }
+    if (victim == sim::kNoHost) break;
+    if (graceful) adv.withdraw(victim);
+    churn.kill(victim, graceful);
+    ++r.violations;
+
+    // Watch (ground truth) until the constraint is really restored.
+    const SimTime broke_at = sched.now();
+    bool fixed = false;
+    for (int step = 0; step < 600; ++step) {
+      sched.run_for(duration::seconds(1));
+      if (truly_satisfied()) {
+        fixed = true;
+        break;
+      }
+    }
+    if (fixed) {
+      ++r.repaired;
+      repair.record(to_seconds(sched.now() - broke_at));
+    }
+    // Revive so the candidate pool does not run dry across kills.
+    churn.revive(victim);
+    adv.advertise(victim, "r1", {"run.svc"});
+    sched.run_for(duration::seconds(15));
+  }
+  r.mean_repair_s = repair.mean();
+  r.p95_repair_s = repair.percentile(95);
+  r.deployments = engine.stats().deployments_succeeded;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::headline("C5 (§4.4)",
+                  "evolution engine: restoring violated placement constraints "
+                  "(\">= 5 components in a given region\")");
+
+  std::printf("\n(a) Departure mode (control period 10 s, monitor probe 5 s, 6 kills):\n");
+  bench::Table mode_table({"departure", "repaired", "repair s mean", "repair s p95",
+                           "deployments"});
+  for (bool graceful : {true, false}) {
+    const auto r = run(graceful, duration::seconds(10), duration::seconds(5), 6);
+    mode_table.row({graceful ? "graceful" : "crash", bench::fmt("%d/%d", r.repaired, r.violations),
+                    bench::fmt("%.1f", r.mean_repair_s), bench::fmt("%.1f", r.p95_repair_s),
+                    bench::fmt("%llu", (unsigned long long)r.deployments)});
+  }
+
+  std::printf("\n(b) Failure-monitor probe-period ablation (silent crashes — detection\n"
+              "    lag dominates repair time):\n");
+  bench::Table period_table({"probe s", "repair s mean", "repair s p95"});
+  for (SimDuration probe : {duration::seconds(2), duration::seconds(5), duration::seconds(15)}) {
+    const auto r = run(false, duration::seconds(10), probe, 6);
+    period_table.row({bench::fmt("%lld", (long long)(probe / 1000000)),
+                      bench::fmt("%.1f", r.mean_repair_s), bench::fmt("%.1f", r.p95_repair_s)});
+  }
+
+  std::printf("\nShape check: every violation is repaired; graceful departures\n"
+              "repair fastest (the withdrawal event triggers reactive repair),\n"
+              "while silent crashes add the failure monitor's detection lag,\n"
+              "which scales with the probe period.\n");
+  return 0;
+}

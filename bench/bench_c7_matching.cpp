@@ -1,0 +1,157 @@
+// C7 — §1.1: "the major difficulty is in extracting the correlated set
+// in the first place, from the huge number of items available" — and
+// the matching engine "must be capable of processing the event stream
+// sufficiently quickly to produce contextual information that is
+// pertinent to users within an appropriate time frame" (§1.2).
+//
+// CPU-time benchmark of the matching engine itself: events/second and
+// per-event latency while the knowledge base scales from 1k to 100k
+// facts, against the naive full-rescan baseline (run at small scale
+// only; its cost explodes exactly as the paper warns).
+#include <chrono>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "event/filter_parser.hpp"
+#include "match/engine.hpp"
+#include "match/naive_engine.hpp"
+
+using namespace aa;
+
+namespace {
+
+event::Filter filt(const std::string& text) { return event::parse_filter(text).value(); }
+
+match::Rule scenario_rule() {
+  match::Rule rule;
+  rule.name = "personal-heat";
+  rule.triggers = {
+      {"loc", filt("type = user-location"), duration::minutes(2)},
+      {"w", filt("type = temperature"), duration::minutes(5)},
+  };
+  rule.facts = {{"pref", filt("kind = preference")}};
+  rule.joins = {
+      {match::Operand::ref("loc", "user"), event::Op::kEq, match::Operand::ref("pref", "user")},
+      {match::Operand::ref("w", "celsius"), event::Op::kGe,
+       match::Operand::ref("pref", "min_celsius")},
+  };
+  rule.emit.type = "suggestion";
+  rule.emit.sets = {{"user", std::nullopt, "loc", "user"}};
+  return rule;
+}
+
+/// One preference fact per user (facts/3 users), padded with shop and
+/// web-page knowledge — so match counts reflect the stream, not
+/// duplicated preferences, as the knowledge base scales.
+void fill_kb(match::KnowledgeBase& kb, int facts, Rng& rng) {
+  for (int i = 0; i < facts; ++i) {
+    match::Fact f;
+    switch (i % 3) {
+      case 0:
+        f.set("kind", "preference").set("user", "user" + std::to_string(i / 3))
+            .set("min_celsius", rng.uniform(10.0, 30.0));
+        break;
+      case 1:
+        f.set("kind", "shop").set("name", "shop" + std::to_string(i))
+            .set("lat", rng.uniform(56.0, 57.0)).set("lon", rng.uniform(-3.0, -2.0));
+        break;
+      default:
+        f.set("kind", "web-page").set("url", "http://example/" + std::to_string(i))
+            .set("topic", "topic" + std::to_string(rng.below(50)));
+    }
+    kb.add(f);
+  }
+}
+
+std::vector<event::Event> make_stream(int events, int users, Rng& rng) {
+  std::vector<event::Event> stream;
+  SimTime t = 0;
+  for (int i = 0; i < events; ++i) {
+    t += duration::seconds(static_cast<std::int64_t>(rng.below(5)));
+    if (rng.chance(0.8)) {
+      event::Event e("user-location");
+      e.set("user", "user" + std::to_string(rng.below(static_cast<std::uint64_t>(users))))
+          .set("lat", rng.uniform(56.0, 57.0)).set("lon", rng.uniform(-3.0, -2.0)).set_time(t);
+      stream.push_back(e);
+    } else {
+      event::Event e("temperature");
+      e.set("celsius", rng.uniform(5.0, 30.0)).set_time(t);
+      stream.push_back(e);
+    }
+  }
+  return stream;
+}
+
+double wall_us(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  bench::headline("C7 (§1.1/§1.2)",
+                  "matching engine: extracting the correlated set from a huge number of "
+                  "items — incremental vs naive rescan");
+
+  std::printf("\n(a) Incremental engine, knowledge-base scale sweep (2000 events):\n");
+  bench::Table table({"facts", "events/s", "us/event", "matches", "candidates"});
+  for (int facts : {1000, 10000, 100000}) {
+    Rng rng(3);
+    match::KnowledgeBase kb;
+    fill_kb(kb, facts, rng);
+    match::MatchEngine engine(kb);
+    engine.add_rule(scenario_rule());
+    const auto stream = make_stream(2000, facts / 3, rng);
+
+    int matches = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& e : stream) {
+      engine.on_event(e, e.time(), [&](const event::Event&) { ++matches; });
+    }
+    const double us = wall_us(start);
+    table.row({bench::fmt("%d", facts),
+               bench::fmt("%.0f", 2000.0 / (us / 1e6)),
+               bench::fmt("%.1f", us / 2000.0), bench::fmt("%d", matches),
+               bench::fmt("%llu", (unsigned long long)engine.stats().candidate_bindings)});
+  }
+
+  std::printf("\n(b) Incremental vs naive full-rescan (10k facts; event-count sweep —\n"
+              "    naive cost grows with history, incremental stays flat):\n");
+  bench::Table vs({"events", "incr us/ev", "naive us/ev", "speedup", "same matches"});
+  for (int events : {100, 200, 400}) {
+    Rng rng(7);
+    match::KnowledgeBase kb;
+    fill_kb(kb, 10000, rng);
+    const auto stream = make_stream(events, 10000 / 3, rng);
+
+    match::MatchEngine engine(kb);
+    engine.add_rule(scenario_rule());
+    int incr_matches = 0;
+    auto start = std::chrono::steady_clock::now();
+    for (const auto& e : stream) {
+      engine.on_event(e, e.time(), [&](const event::Event&) { ++incr_matches; });
+    }
+    const double incr_us = wall_us(start) / events;
+
+    match::NaiveEngine naive(kb);
+    naive.add_rule(scenario_rule());
+    int naive_matches = 0;
+    start = std::chrono::steady_clock::now();
+    for (const auto& e : stream) {
+      naive.on_event(e, e.time(), [&](const event::Event&) { ++naive_matches; });
+    }
+    const double naive_us = wall_us(start) / events;
+
+    vs.row({bench::fmt("%d", events), bench::fmt("%.1f", incr_us),
+            bench::fmt("%.1f", naive_us), bench::fmt("%.0fx", naive_us / incr_us),
+            incr_matches == naive_matches ? "yes" : "NO"});
+  }
+
+  std::printf("\nShape check: the incremental engine's per-event cost is flat in\n"
+              "both fact count (indexed probes) and history length (windows);\n"
+              "the naive rescan's per-event cost grows with everything — the\n"
+              "architecture's reason for existing.\n");
+  return 0;
+}

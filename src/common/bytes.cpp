@@ -1,0 +1,14 @@
+#include "common/bytes.hpp"
+
+namespace aa {
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(reinterpret_cast<const std::uint8_t*>(s.data()),
+               reinterpret_cast<const std::uint8_t*>(s.data()) + s.size());
+}
+
+std::string to_string(std::span<const std::uint8_t> b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+}  // namespace aa

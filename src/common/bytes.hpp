@@ -1,0 +1,144 @@
+// Byte-buffer serialization for messages, bundles and stored objects.
+//
+// The wire format is explicit little-endian with length-prefixed strings,
+// so serialized sizes are deterministic and byte counts can stand in for
+// network transfer costs in the simulator.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/status.hpp"
+
+namespace aa {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends primitive values to a growing byte buffer.
+class BufWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { raw(&v, 2); }
+  void u32(std::uint32_t v) { raw(&v, 4); }
+  void u64(std::uint64_t v) { raw(&v, 8); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { raw(&v, 8); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+
+  void bytes(std::span<const std::uint8_t> b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    raw(b.data(), b.size());
+  }
+
+  void uid(const Uid160& id) { raw(id.bytes().data(), 20); }
+
+  const Bytes& data() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* bytes = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), bytes, bytes + n);
+  }
+  Bytes buf_;
+};
+
+/// Reads primitive values back; all accessors fail soft (set the error
+/// flag and return zero values) so malformed input never reads out of
+/// bounds.
+class BufReader {
+ public:
+  explicit BufReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    std::uint8_t v = 0;
+    raw(&v, 1);
+    return v;
+  }
+  std::uint16_t u16() {
+    std::uint16_t v = 0;
+    raw(&v, 2);
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    raw(&v, 4);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    raw(&v, 8);
+    return v;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() {
+    double v = 0;
+    raw(&v, 8);
+    return v;
+  }
+  bool boolean() { return u8() != 0; }
+
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!check(n)) return {};
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  Bytes bytes() {
+    const std::uint32_t n = u32();
+    if (!check(n)) return {};
+    Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return b;
+  }
+
+  Uid160 uid() {
+    std::array<std::uint8_t, 20> b{};
+    raw(b.data(), 20);
+    return Uid160(b);
+  }
+
+  bool failed() const { return failed_; }
+  bool at_end() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool check(std::size_t n) {
+    if (failed_ || pos_ + n > data_.size()) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+  void raw(void* out, std::size_t n) {
+    if (!check(n)) {
+      std::memset(out, 0, n);
+      return;
+    }
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+Bytes to_bytes(std::string_view s);
+std::string to_string(std::span<const std::uint8_t> b);
+
+}  // namespace aa

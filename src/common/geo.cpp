@@ -1,0 +1,45 @@
+#include "common/geo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aa {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kEarthRadiusM = 6371000.0;
+constexpr double kWalkSpeedMps = 1.4;
+
+double radians(double deg) { return deg * kPi / 180.0; }
+}  // namespace
+
+double geo_distance_m(const GeoPoint& a, const GeoPoint& b) {
+  const double dlat = radians(b.lat - a.lat);
+  const double dlon = radians(b.lon - a.lon);
+  const double s = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(radians(a.lat)) * std::cos(radians(b.lat)) *
+                       std::sin(dlon / 2) * std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusM * std::asin(std::min(1.0, std::sqrt(s)));
+}
+
+double walking_time_s(const GeoPoint& a, const GeoPoint& b) {
+  return geo_distance_m(a, b) / kWalkSpeedMps;
+}
+
+void RegionMap::add(GeoRegion region) { regions_.push_back(std::move(region)); }
+
+const GeoRegion* RegionMap::find(const std::string& name) const {
+  for (const auto& r : regions_) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+std::optional<std::string> RegionMap::locate(const GeoPoint& p) const {
+  for (const auto& r : regions_) {
+    if (r.contains(p)) return r.name;
+  }
+  return std::nullopt;
+}
+
+}  // namespace aa

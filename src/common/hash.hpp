@@ -1,0 +1,59 @@
+// Hashing primitives: SHA-1 (for content-derived GUIDs, as used by the
+// PAST/OceanStore generation of P2P stores the paper builds on) and
+// FNV-1a (for cheap in-memory hash tables and deterministic seeding).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace aa {
+
+/// A 160-bit SHA-1 digest.
+using Sha1Digest = std::array<std::uint8_t, 20>;
+
+/// Incremental SHA-1 (FIPS 180-1).  Self-contained; no external crypto
+/// dependency.  Used to derive globally unique identifiers from content,
+/// exactly as the cited P2P storage systems do.
+class Sha1 {
+ public:
+  Sha1() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view data);
+  Sha1Digest finish();
+
+  /// One-shot convenience.
+  static Sha1Digest hash(std::string_view data);
+  static Sha1Digest hash(std::span<const std::uint8_t> data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> h_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// FNV-1a 64-bit hash.
+constexpr std::uint64_t fnv1a(std::string_view data,
+                              std::uint64_t seed = 14695981039346656037ULL) {
+  std::uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Mixes an integer into an FNV-style running hash (for composite keys).
+constexpr std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace aa

@@ -1,0 +1,95 @@
+#include "common/ids.hpp"
+
+#include <algorithm>
+
+namespace aa {
+
+namespace {
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+constexpr char kHexChars[] = "0123456789abcdef";
+}  // namespace
+
+Uid160 Uid160::from_hex(std::string_view hex, bool* ok) {
+  Uid160 id;
+  if (hex.size() != static_cast<std::size_t>(kDigits)) {
+    if (ok) *ok = false;
+    return id;
+  }
+  for (int i = 0; i < kDigits; ++i) {
+    int v = hex_value(hex[static_cast<std::size_t>(i)]);
+    if (v < 0) {
+      if (ok) *ok = false;
+      return Uid160{};
+    }
+    id = id.with_digit(i, v);
+  }
+  if (ok) *ok = true;
+  return id;
+}
+
+Uid160 Uid160::with_digit(int i, int value) const {
+  Uid160 copy = *this;
+  auto& b = copy.bytes_[static_cast<std::size_t>(i / 2)];
+  if (i % 2 == 0) {
+    b = static_cast<std::uint8_t>((b & 0x0F) | (value << 4));
+  } else {
+    b = static_cast<std::uint8_t>((b & 0xF0) | (value & 0x0F));
+  }
+  return copy;
+}
+
+int Uid160::shared_prefix_digits(const Uid160& other) const {
+  for (int i = 0; i < kDigits; ++i) {
+    if (digit(i) != other.digit(i)) return i;
+  }
+  return kDigits;
+}
+
+Uid160 Uid160::ring_distance_cw(const Uid160& other) const {
+  // other - this (mod 2^160), big-endian subtraction with borrow.
+  std::array<std::uint8_t, 20> diff{};
+  int borrow = 0;
+  for (int i = 19; i >= 0; --i) {
+    int d = static_cast<int>(other.bytes_[static_cast<std::size_t>(i)]) -
+            static_cast<int>(bytes_[static_cast<std::size_t>(i)]) - borrow;
+    if (d < 0) {
+      d += 256;
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    diff[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(d);
+  }
+  return Uid160(diff);
+}
+
+Uid160 Uid160::ring_distance(const Uid160& other) const {
+  return std::min(ring_distance_cw(other), other.ring_distance_cw(*this));
+}
+
+bool Uid160::closer_to(const Uid160& target, const Uid160& other) const {
+  const Uid160 mine = ring_distance(target);
+  const Uid160 theirs = other.ring_distance(target);
+  if (mine != theirs) return mine < theirs;
+  return *this < other;
+}
+
+std::string Uid160::to_hex() const {
+  std::string s;
+  s.reserve(kDigits);
+  for (int i = 0; i < kDigits; ++i) s.push_back(kHexChars[digit(i)]);
+  return s;
+}
+
+std::string Uid160::short_hex() const { return to_hex().substr(0, 8); }
+
+bool Uid160::is_zero() const {
+  return std::all_of(bytes_.begin(), bytes_.end(), [](std::uint8_t b) { return b == 0; });
+}
+
+}  // namespace aa

@@ -1,0 +1,51 @@
+// Minimal leveled logger.  Off by default so benchmarks and tests run
+// silently; experiments flip the level to trace decisions made by the
+// evolution engine, routing layer, etc.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace aa {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  static void write(LogLevel level, const std::string& component, const std::string& message);
+  static bool enabled(LogLevel level) { return level >= Logger::level(); }
+};
+
+namespace log_detail {
+class LineBuilder {
+ public:
+  LineBuilder(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LineBuilder() { Logger::write(level_, component_, stream_.str()); }
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace log_detail
+
+#define AA_LOG(level, component)                 \
+  if (!::aa::Logger::enabled(level)) {           \
+  } else                                         \
+    ::aa::log_detail::LineBuilder(level, component)
+
+#define AA_TRACE(component) AA_LOG(::aa::LogLevel::kTrace, component)
+#define AA_DEBUG(component) AA_LOG(::aa::LogLevel::kDebug, component)
+#define AA_INFO(component) AA_LOG(::aa::LogLevel::kInfo, component)
+#define AA_WARN(component) AA_LOG(::aa::LogLevel::kWarn, component)
+#define AA_ERROR(component) AA_LOG(::aa::LogLevel::kError, component)
+
+}  // namespace aa

@@ -1,0 +1,139 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Every stochastic element of the simulator (topologies, workloads,
+// churn, Zipf access patterns) draws from an explicitly seeded Rng, so a
+// given seed always reproduces the same run bit-for-bit.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace aa {
+
+/// xoshiro256** seeded via splitmix64.  Header-only; trivially copyable
+/// so sub-streams can be forked (`fork()`) for independent components.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound).  Precondition: bound > 0.
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.  Precondition: lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + uniform() * (hi - lo); }
+
+  bool chance(double p) { return uniform() < p; }
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean) {
+    double u = uniform();
+    if (u <= 0.0) u = 1e-300;
+    return -mean * std::log(u);
+  }
+
+  /// Gaussian via Box–Muller (one value per call; simple over fast).
+  double gaussian(double mean, double stddev) {
+    double u1 = uniform();
+    if (u1 <= 0.0) u1 = 1e-300;
+    const double u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(2.0 * 3.14159265358979323846 * u2);
+  }
+
+  /// A fresh 160-bit identifier drawn uniformly from the ring.
+  Uid160 uid() {
+    std::array<std::uint8_t, 20> bytes;
+    for (std::size_t i = 0; i < 20; i += 4) {
+      const std::uint64_t v = next();
+      bytes[i] = static_cast<std::uint8_t>(v);
+      bytes[i + 1] = static_cast<std::uint8_t>(v >> 8);
+      bytes[i + 2] = static_cast<std::uint8_t>(v >> 16);
+      bytes[i + 3] = static_cast<std::uint8_t>(v >> 24);
+    }
+    return Uid160(bytes);
+  }
+
+  /// Independent child stream (deterministic function of parent state).
+  Rng fork() { return Rng(next() ^ 0xD1B54A32D192ED03ULL); }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[below(i)]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+/// Zipf-distributed ranks in [0, n), exponent s.  Precomputes the CDF;
+/// intended for modelling skewed data-access popularity (§4.5/§4.6
+/// caching and placement experiments).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = sum;
+    }
+    for (auto& c : cdf_) c /= sum;
+  }
+
+  std::size_t sample(Rng& rng) const {
+    const double u = rng.uniform();
+    std::size_t lo = 0, hi = cdf_.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo < cdf_.size() ? lo : cdf_.size() - 1;
+  }
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace aa

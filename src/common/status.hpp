@@ -1,0 +1,114 @@
+// Lightweight error-handling vocabulary: Status and Result<T>.
+//
+// The architecture is exercised inside a simulator where failures
+// (unreachable nodes, missing objects, rejected bundles) are expected
+// outcomes rather than exceptional ones, so fallible operations return
+// Result<T> instead of throwing.  Exceptions remain reserved for
+// programming errors (precondition violations).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace aa {
+
+enum class Code {
+  kOk = 0,
+  kNotFound,
+  kUnavailable,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kPermissionDenied,
+  kTimeout,
+  kCorrupt,
+  kExhausted,
+  kAlreadyExists,
+  kInternal,
+};
+
+/// Human-readable name for a status code.
+constexpr const char* code_name(Code c) {
+  switch (c) {
+    case Code::kOk: return "OK";
+    case Code::kNotFound: return "NOT_FOUND";
+    case Code::kUnavailable: return "UNAVAILABLE";
+    case Code::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Code::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case Code::kPermissionDenied: return "PERMISSION_DENIED";
+    case Code::kTimeout: return "TIMEOUT";
+    case Code::kCorrupt: return "CORRUPT";
+    case Code::kExhausted: return "EXHAUSTED";
+    case Code::kAlreadyExists: return "ALREADY_EXISTS";
+    case Code::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+/// Outcome of an operation that produces no value.
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == Code::kOk; }
+  explicit operator bool() const { return is_ok(); }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    if (is_ok()) return "OK";
+    std::string s = code_name(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+inline Status error(Code code, std::string message = {}) { return Status(code, std::move(message)); }
+
+/// Outcome of an operation that produces a T on success.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : state_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(state_).is_ok()) {
+      state_ = Status(Code::kInternal, "Result constructed from OK status");
+    }
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return is_ok(); }
+
+  /// Precondition: is_ok().
+  const T& value() const& { return std::get<T>(state_); }
+  T& value() & { return std::get<T>(state_); }
+  T&& value() && { return std::get<T>(std::move(state_)); }
+
+  /// OK when holding a value; the error otherwise.
+  Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(state_);
+  }
+
+  const T& value_or(const T& fallback) const {
+    return is_ok() ? std::get<T>(state_) : fallback;
+  }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+}  // namespace aa

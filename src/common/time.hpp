@@ -1,0 +1,32 @@
+// Simulated-time primitives used throughout the architecture.
+//
+// All components run on virtual time driven by the discrete-event
+// simulator (sim/scheduler.hpp); wall-clock time never appears in the
+// core libraries so that every experiment is deterministic.
+#pragma once
+
+#include <cstdint>
+
+namespace aa {
+
+/// Virtual time in microseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A span of virtual time in microseconds.
+using SimDuration = std::int64_t;
+
+namespace duration {
+constexpr SimDuration micros(std::int64_t n) { return n; }
+constexpr SimDuration millis(std::int64_t n) { return n * 1000; }
+constexpr SimDuration seconds(std::int64_t n) { return n * 1000000; }
+constexpr SimDuration minutes(std::int64_t n) { return n * 60000000; }
+constexpr SimDuration hours(std::int64_t n) { return n * 3600000000LL; }
+}  // namespace duration
+
+/// Convert a virtual duration to fractional seconds (for reporting only).
+constexpr double to_seconds(SimDuration d) { return static_cast<double>(d) / 1e6; }
+
+/// Convert a virtual duration to fractional milliseconds (for reporting only).
+constexpr double to_millis(SimDuration d) { return static_cast<double>(d) / 1e3; }
+
+}  // namespace aa

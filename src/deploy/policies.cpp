@@ -1,0 +1,114 @@
+#include "deploy/policies.hpp"
+
+namespace aa::deploy {
+
+LatencyReductionPolicy::LatencyReductionPolicy(sim::Network& net, pubsub::EventService& bus,
+                                               storage::ObjectStore& store,
+                                               const PersonalDataDirectory& directory,
+                                               std::map<sim::HostId, std::string> region_of_host,
+                                               RegionMap regions, Params params)
+    : net_(net),
+      store_(store),
+      directory_(directory),
+      region_of_host_(std::move(region_of_host)),
+      regions_(std::move(regions)),
+      params_(params),
+      bus_(bus) {
+  sub_id_ = bus_.subscribe(
+      params_.policy_host,
+      event::Filter().where("type", event::Op::kEq, "user-location"),
+      [this](const event::Event& e) {
+        const auto user = e.get_string("user");
+        if (!user) return;
+        std::string region = e.get_string("region").value_or("");
+        if (region.empty()) {
+          const auto lat = e.get_real("lat");
+          const auto lon = e.get_real("lon");
+          if (lat && lon) region = regions_.locate({*lat, *lon}).value_or("");
+        }
+        if (region.empty()) return;
+        UserState& state = users_[*user];
+        if (state.region != region) {
+          // Moving resets the progression: replication builds up again
+          // at the new location.
+          state.region = region;
+          state.since = net_.scheduler().now();
+          state.replicated = 0;
+        }
+      });
+  task_ = net_.scheduler().every(params_.sweep_period, [this]() { sweep(); });
+}
+
+LatencyReductionPolicy::~LatencyReductionPolicy() {
+  if (task_ != sim::kInvalidTask) net_.scheduler().cancel(task_);
+  bus_.unsubscribe(params_.policy_host, sub_id_);
+}
+
+std::string LatencyReductionPolicy::user_region(const std::string& user) const {
+  auto it = users_.find(user);
+  return it == users_.end() ? "" : it->second.region;
+}
+
+void LatencyReductionPolicy::sweep() {
+  for (auto& [user, state] : users_) {
+    if (state.region.empty()) continue;
+    const auto& objects = directory_.of(user);
+    if (objects.empty()) continue;
+    // The user's *storage gateway*: the region's first live storage
+    // unit.  Replicas land there so the user's reads (served through
+    // the gateway) become local hits — scattering copies across the
+    // region would leave them off the DHT route and invisible to gets.
+    const sim::HostId gateway = gateway_for(state.region);
+    if (gateway == sim::kNoHost) continue;
+    // Progressively widen the replicated prefix of the user's data.
+    const std::size_t target = std::min(
+        objects.size(), state.replicated + static_cast<std::size_t>(params_.objects_per_sweep));
+    for (std::size_t i = state.replicated; i < target; ++i) {
+      store_.replicate_to(gateway, objects[i], gateway, nullptr);
+      ++migrations_;
+    }
+    state.replicated = target;
+  }
+}
+
+sim::HostId LatencyReductionPolicy::gateway_for(const std::string& region) const {
+  for (const auto& [host, host_region] : region_of_host_) {
+    if (host_region == region && net_.host_up(host)) return host;
+  }
+  return sim::kNoHost;
+}
+
+BackupPolicy::BackupPolicy(sim::Network& net, overlay::OverlayNetwork& overlay,
+                           storage::ObjectStore& store,
+                           std::map<sim::HostId, std::string> region_of_host)
+    : net_(net),
+      overlay_(overlay),
+      store_(store),
+      region_of_host_(std::move(region_of_host)) {}
+
+void BackupPolicy::object_created(sim::HostId origin, const ObjectId& id) {
+  auto origin_it = region_of_host_.find(origin);
+  const std::string origin_region =
+      origin_it == region_of_host_.end() ? "" : origin_it->second;
+  // The ring-closest overlay node outside the origin region: the node
+  // that inherits root ownership of the key if the whole origin region
+  // disappears.
+  sim::HostId dest = sim::kNoHost;
+  NodeId dest_id;
+  for (sim::HostId host : overlay_.node_hosts()) {
+    if (!net_.host_up(host)) continue;
+    auto it = region_of_host_.find(host);
+    if (it == region_of_host_.end() || it->second == origin_region) continue;
+    const overlay::OverlayNode* node = overlay_.node_at(host);
+    if (node == nullptr) continue;
+    if (dest == sim::kNoHost || node->id().closer_to(id, dest_id)) {
+      dest = host;
+      dest_id = node->id();
+    }
+  }
+  if (dest == sim::kNoHost) return;
+  store_.replicate_to(dest, id, dest, nullptr);
+  ++backups_;
+}
+
+}  // namespace aa::deploy

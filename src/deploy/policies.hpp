@@ -1,0 +1,122 @@
+// Data placement policies (§4.6).
+//
+// "A latency-reduction policy might, for example, seek to replicate
+// progressively more of a user's personal data at storage units
+// geographically close to the user's current location, the longer that
+// the user remained at that location.  A backup policy might seek to
+// replicate data on a geographically remote storage unit as soon as
+// possible after it was created."
+//
+// Both policies observe the system through the event bus (user-location
+// events, put notifications from the application) and act through the
+// object store.  They are deliberately small: the mechanism lives in
+// storage/ and the evolution engine; a policy only decides *what* to
+// move *where*, which is the paper's point about separating policy from
+// mechanism.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/geo.hpp"
+#include "pubsub/event_service.hpp"
+#include "storage/object_store.hpp"
+
+namespace aa::deploy {
+
+/// Maps users to the object ids of their personal data (profile,
+/// preferences, history) — the policy's working set.
+class PersonalDataDirectory {
+ public:
+  void add(const std::string& user, const ObjectId& id) { data_[user].push_back(id); }
+  const std::vector<ObjectId>& of(const std::string& user) const {
+    static const std::vector<ObjectId> kEmpty;
+    auto it = data_.find(user);
+    return it == data_.end() ? kEmpty : it->second;
+  }
+  const std::map<std::string, std::vector<ObjectId>>& all() const { return data_; }
+
+ private:
+  std::map<std::string, std::vector<ObjectId>> data_;
+};
+
+/// Progressive replication toward the user's current region.  Each
+/// sweep migrates `objects_per_sweep` more of the user's objects to a
+/// storage node in the user's region — so the longer the user stays,
+/// the more of their data is local.  Moving resets the progression.
+class LatencyReductionPolicy {
+ public:
+  struct Params {
+    sim::HostId policy_host = 0;
+    SimDuration sweep_period = duration::seconds(30);
+    int objects_per_sweep = 1;
+  };
+
+  /// `region_of_host` maps each storage host to its region label;
+  /// user regions come from "user-location" events with a "region"
+  /// attribute (or lat/lon resolved through `regions`).
+  LatencyReductionPolicy(sim::Network& net, pubsub::EventService& bus,
+                         storage::ObjectStore& store, const PersonalDataDirectory& directory,
+                         std::map<sim::HostId, std::string> region_of_host,
+                         RegionMap regions, Params params);
+  ~LatencyReductionPolicy();
+
+  LatencyReductionPolicy(const LatencyReductionPolicy&) = delete;
+  LatencyReductionPolicy& operator=(const LatencyReductionPolicy&) = delete;
+
+  std::uint64_t migrations() const { return migrations_; }
+  /// The region the policy currently believes the user is in.
+  std::string user_region(const std::string& user) const;
+  /// The storage gateway a user in `region` reads through (the region's
+  /// first live storage unit); kNoHost if the region is empty.
+  sim::HostId gateway_for(const std::string& region) const;
+
+ private:
+  void sweep();
+
+  sim::Network& net_;
+  storage::ObjectStore& store_;
+  const PersonalDataDirectory& directory_;
+  std::map<sim::HostId, std::string> region_of_host_;
+  RegionMap regions_;
+  Params params_;
+  struct UserState {
+    std::string region;
+    SimTime since = 0;
+    std::size_t replicated = 0;  // progression counter
+  };
+  std::map<std::string, UserState> users_;
+  sim::TaskId task_ = sim::kInvalidTask;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t sub_id_ = 0;
+  pubsub::EventService& bus_;
+};
+
+/// Replicates newly created objects to a remote region immediately.
+/// The backup lands on the object's *ring-closest* node outside the
+/// origin region (PAST-style placement diversity): if the origin region
+/// is lost wholesale, that node is precisely the key's new root, so
+/// routed lookups find the backup without any directory.
+class BackupPolicy {
+ public:
+  BackupPolicy(sim::Network& net, overlay::OverlayNetwork& overlay,
+               storage::ObjectStore& store,
+               std::map<sim::HostId, std::string> region_of_host);
+
+  /// Notify the policy of a new object created at `origin`; it places a
+  /// backup replica on a host in a *different* region than the origin.
+  void object_created(sim::HostId origin, const ObjectId& id);
+
+  std::uint64_t backups() const { return backups_; }
+
+ private:
+  sim::Network& net_;
+  overlay::OverlayNetwork& overlay_;
+  storage::ObjectStore& store_;
+  std::map<sim::HostId, std::string> region_of_host_;
+  std::uint64_t backups_ = 0;
+};
+
+}  // namespace aa::deploy

@@ -1,0 +1,99 @@
+#include "event/event.hpp"
+
+#include <sstream>
+
+namespace aa::event {
+
+Event::Event(std::string type) { set("type", std::move(type)); }
+
+Event& Event::set(std::string name, AttrValue value) {
+  attrs_[std::move(name)] = std::move(value);
+  return *this;
+}
+
+const AttrValue* Event::get(const std::string& name) const {
+  auto it = attrs_.find(name);
+  return it == attrs_.end() ? nullptr : &it->second;
+}
+
+std::optional<std::string> Event::get_string(const std::string& name) const {
+  const AttrValue* v = get(name);
+  if (v == nullptr || !v->is_string()) return std::nullopt;
+  return v->str();
+}
+
+std::optional<std::int64_t> Event::get_int(const std::string& name) const {
+  const AttrValue* v = get(name);
+  if (v == nullptr || !v->is_int()) return std::nullopt;
+  return v->integer();
+}
+
+std::optional<double> Event::get_real(const std::string& name) const {
+  const AttrValue* v = get(name);
+  if (v == nullptr || !v->is_numeric()) return std::nullopt;
+  return v->as_real();
+}
+
+std::optional<bool> Event::get_bool(const std::string& name) const {
+  const AttrValue* v = get(name);
+  if (v == nullptr || !v->is_bool()) return std::nullopt;
+  return v->boolean();
+}
+
+xml::Element Event::to_xml() const {
+  xml::Element root("event");
+  for (const auto& [name, value] : attrs_) {
+    xml::Element attr("attr");
+    attr.set_attribute("name", name);
+    attr.set_attribute("type", value_type_name(value.type()));
+    attr.set_attribute("value", value.to_text());
+    root.add_child(std::move(attr));
+  }
+  return root;
+}
+
+Result<Event> Event::from_xml(const xml::Element& element) {
+  if (element.name() != "event") {
+    return Status(Code::kInvalidArgument, "expected <event>, got <" + element.name() + ">");
+  }
+  Event e;
+  for (const xml::Element* attr : element.children_named("attr")) {
+    const auto name = attr->attribute("name");
+    const auto type_name = attr->attribute("type");
+    const auto value_text = attr->attribute("value");
+    if (!name || !type_name || !value_text) {
+      return Status(Code::kInvalidArgument, "<attr> needs name, type, value");
+    }
+    auto type = value_type_from_name(*type_name);
+    if (!type.is_ok()) return type.status();
+    auto value = AttrValue::from_text(type.value(), *value_text);
+    if (!value.is_ok()) return value.status();
+    e.set(*name, std::move(value).value());
+  }
+  return e;
+}
+
+std::string Event::to_xml_string() const { return xml::to_string(to_xml()); }
+
+Result<Event> Event::parse(std::string_view xml_text) {
+  auto doc = xml::parse(xml_text);
+  if (!doc.is_ok()) return doc.status();
+  return from_xml(doc.value());
+}
+
+std::size_t Event::wire_size() const { return to_xml_string().size(); }
+
+std::string Event::describe() const {
+  std::ostringstream out;
+  out << "event{";
+  bool first = true;
+  for (const auto& [name, value] : attrs_) {
+    if (!first) out << ", ";
+    first = false;
+    out << name << "=" << value.to_text();
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace aa::event

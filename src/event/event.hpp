@@ -1,0 +1,73 @@
+// Events: typed attribute sets with an XML wire form.
+//
+// An event is a set of named, typed attributes (the Siena model) with
+// three well-known attributes given first-class accessors: "type" (the
+// event type name, used for routing unknown types to discovery
+// matchlets, §5), "time" (virtual timestamp) and "source".  Events
+// cross the simulated network as XML documents (§4.2: "XML events
+// flowing between pipeline components"), so Event provides a faithful
+// XML encode/decode pair and a wire-size measure used for traffic
+// accounting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/status.hpp"
+#include "common/time.hpp"
+#include "event/value.hpp"
+#include "xml/xml.hpp"
+
+namespace aa::event {
+
+class Event {
+ public:
+  Event() = default;
+  /// Creates an event with its "type" attribute set.
+  explicit Event(std::string type);
+
+  const std::map<std::string, AttrValue>& attributes() const { return attrs_; }
+
+  Event& set(std::string name, AttrValue value);
+  bool has(const std::string& name) const { return attrs_.contains(name); }
+  const AttrValue* get(const std::string& name) const;
+
+  // Typed getters returning nullopt on absence or type mismatch.
+  std::optional<std::string> get_string(const std::string& name) const;
+  std::optional<std::int64_t> get_int(const std::string& name) const;
+  std::optional<double> get_real(const std::string& name) const;
+  std::optional<bool> get_bool(const std::string& name) const;
+
+  /// Event type ("" if unset).
+  std::string type() const { return get_string("type").value_or(""); }
+  Event& set_type(const std::string& type) { return set("type", type); }
+
+  /// Virtual timestamp (0 if unset).
+  SimTime time() const { return get_int("time").value_or(0); }
+  Event& set_time(SimTime t) { return set("time", static_cast<std::int64_t>(t)); }
+
+  std::string source() const { return get_string("source").value_or(""); }
+  Event& set_source(const std::string& s) { return set("source", s); }
+
+  bool operator==(const Event& other) const { return attrs_ == other.attrs_; }
+
+  /// XML form: <event><attr name="..." type="..." value="..."/>...</event>
+  xml::Element to_xml() const;
+  static Result<Event> from_xml(const xml::Element& element);
+
+  std::string to_xml_string() const;
+  static Result<Event> parse(std::string_view xml_text);
+
+  /// Bytes this event occupies on the simulated wire (its XML length).
+  std::size_t wire_size() const;
+
+  /// Compact human-readable rendering for logs.
+  std::string describe() const;
+
+ private:
+  std::map<std::string, AttrValue> attrs_;
+};
+
+}  // namespace aa::event

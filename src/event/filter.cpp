@@ -1,0 +1,224 @@
+#include "event/filter.hpp"
+
+#include <sstream>
+
+namespace aa::event {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kEq: return "=";
+    case Op::kNe: return "!=";
+    case Op::kLt: return "<";
+    case Op::kLe: return "<=";
+    case Op::kGt: return ">";
+    case Op::kGe: return ">=";
+    case Op::kPrefix: return "prefix";
+    case Op::kSuffix: return "suffix";
+    case Op::kSubstring: return "contains";
+    case Op::kExists: return "exists";
+  }
+  return "?";
+}
+
+Result<Op> op_from_name(std::string_view name) {
+  if (name == "=" || name == "==") return Op::kEq;
+  if (name == "!=") return Op::kNe;
+  if (name == "<") return Op::kLt;
+  if (name == "<=") return Op::kLe;
+  if (name == ">") return Op::kGt;
+  if (name == ">=") return Op::kGe;
+  if (name == "prefix") return Op::kPrefix;
+  if (name == "suffix") return Op::kSuffix;
+  if (name == "contains") return Op::kSubstring;
+  if (name == "exists") return Op::kExists;
+  return Status(Code::kInvalidArgument, "unknown operator: " + std::string(name));
+}
+
+namespace {
+bool starts_with(const std::string& s, const std::string& p) {
+  return s.size() >= p.size() && s.compare(0, p.size(), p) == 0;
+}
+bool ends_with(const std::string& s, const std::string& p) {
+  return s.size() >= p.size() && s.compare(s.size() - p.size(), p.size(), p) == 0;
+}
+bool contains(const std::string& s, const std::string& p) {
+  return s.find(p) != std::string::npos;
+}
+}  // namespace
+
+bool Constraint::matches(const AttrValue& v) const {
+  switch (op) {
+    case Op::kExists:
+      return true;
+    case Op::kPrefix:
+      return v.is_string() && value.is_string() && starts_with(v.str(), value.str());
+    case Op::kSuffix:
+      return v.is_string() && value.is_string() && ends_with(v.str(), value.str());
+    case Op::kSubstring:
+      return v.is_string() && value.is_string() && contains(v.str(), value.str());
+    default:
+      break;
+  }
+  const auto c = v.compare(value);
+  if (!c.has_value()) return false;  // incomparable types never match
+  switch (op) {
+    case Op::kEq: return *c == 0;
+    case Op::kNe: return *c != 0;
+    case Op::kLt: return *c < 0;
+    case Op::kLe: return *c <= 0;
+    case Op::kGt: return *c > 0;
+    case Op::kGe: return *c >= 0;
+    default: return false;
+  }
+}
+
+bool Constraint::implies(const Constraint& weaker) const {
+  if (attribute != weaker.attribute) return false;
+  // Anything implies bare existence.
+  if (weaker.op == Op::kExists) return true;
+  if (op == Op::kExists) return false;
+
+  // Equality: satisfied only by exactly `value`, so implication reduces
+  // to whether that witness satisfies the weaker constraint.
+  if (op == Op::kEq) return weaker.matches(value);
+
+  if (op == Op::kNe) {
+    return weaker.op == Op::kNe && value == weaker.value;
+  }
+
+  // String containment lattice.
+  if (op == Op::kPrefix || op == Op::kSuffix || op == Op::kSubstring) {
+    if (!value.is_string() || !weaker.value.is_string()) return false;
+    const std::string& p = value.str();
+    const std::string& q = weaker.value.str();
+    if (op == Op::kPrefix && weaker.op == Op::kPrefix) return starts_with(p, q);
+    if (op == Op::kSuffix && weaker.op == Op::kSuffix) return ends_with(p, q);
+    if (weaker.op == Op::kSubstring) return contains(p, q);
+    return false;
+  }
+
+  // Ordering ops: both bounds must be comparable.
+  const auto c = value.compare(weaker.value);
+  if (!c.has_value()) return false;
+  const int cmp = *c;  // value <=> weaker.value
+  switch (op) {
+    case Op::kLt:
+      // v < value
+      if (weaker.op == Op::kLt || weaker.op == Op::kLe) return cmp <= 0;
+      if (weaker.op == Op::kNe) return cmp <= 0;  // v < value <= y  =>  v != y
+      return false;
+    case Op::kLe:
+      // v <= value
+      if (weaker.op == Op::kLt) return cmp < 0;
+      if (weaker.op == Op::kLe) return cmp <= 0;
+      if (weaker.op == Op::kNe) return cmp < 0;  // v <= value < y  =>  v != y
+      return false;
+    case Op::kGt:
+      // v > value
+      if (weaker.op == Op::kGt || weaker.op == Op::kGe) return cmp >= 0;
+      if (weaker.op == Op::kNe) return cmp >= 0;
+      return false;
+    case Op::kGe:
+      // v >= value
+      if (weaker.op == Op::kGt) return cmp > 0;
+      if (weaker.op == Op::kGe) return cmp >= 0;
+      if (weaker.op == Op::kNe) return cmp > 0;
+      return false;
+    default:
+      return false;
+  }
+}
+
+std::string Constraint::describe() const {
+  // The rendering is re-parseable by parse_filter (string values are
+  // quoted), which is what lets rules serialise filters to XML.
+  std::ostringstream out;
+  out << attribute << ' ' << op_name(op);
+  if (op != Op::kExists) {
+    if (value.is_string()) {
+      out << " \"" << value.str() << '"';
+    } else {
+      out << ' ' << value.to_text();
+    }
+  }
+  return out.str();
+}
+
+Filter& Filter::where(std::string attribute, Op op, AttrValue value) {
+  constraints_.push_back(Constraint{std::move(attribute), op, std::move(value)});
+  return *this;
+}
+
+bool Filter::matches(const Event& e) const {
+  for (const Constraint& c : constraints_) {
+    const AttrValue* v = e.get(c.attribute);
+    if (v == nullptr || !c.matches(*v)) return false;
+  }
+  return true;
+}
+
+bool Filter::covers(const Filter& other) const {
+  for (const Constraint& mine : constraints_) {
+    bool implied = false;
+    for (const Constraint& theirs : other.constraints_) {
+      if (theirs.implies(mine)) {
+        implied = true;
+        break;
+      }
+    }
+    if (!implied) return false;
+  }
+  return true;
+}
+
+bool Filter::overlaps(const Filter& other) const {
+  // Provable disjointness on any shared attribute refutes overlap.
+  for (const Constraint& a : constraints_) {
+    for (const Constraint& b : other.constraints_) {
+      if (a.attribute != b.attribute) continue;
+      // eq pinned on one side: the other side must accept the witness.
+      if (a.op == Op::kEq && !b.matches(a.value)) return false;
+      if (b.op == Op::kEq && !a.matches(b.value)) return false;
+      // Disjoint prefix constraints.
+      if (a.op == Op::kPrefix && b.op == Op::kPrefix && a.value.is_string() &&
+          b.value.is_string()) {
+        const std::string& p = a.value.str();
+        const std::string& q = b.value.str();
+        if (!starts_with(p, q) && !starts_with(q, p)) return false;
+      }
+      // Upper bound strictly below lower bound.
+      auto is_upper = [](Op op) { return op == Op::kLt || op == Op::kLe; };
+      auto is_lower = [](Op op) { return op == Op::kGt || op == Op::kGe; };
+      const Constraint* upper = nullptr;
+      const Constraint* lower = nullptr;
+      if (is_upper(a.op) && is_lower(b.op)) {
+        upper = &a;
+        lower = &b;
+      } else if (is_upper(b.op) && is_lower(a.op)) {
+        upper = &b;
+        lower = &a;
+      }
+      if (upper != nullptr) {
+        const auto c = lower->value.compare(upper->value);
+        if (c.has_value()) {
+          if (*c > 0) return false;  // lower bound above upper bound
+          if (*c == 0 && (upper->op == Op::kLt || lower->op == Op::kGt)) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::string Filter::describe() const {
+  std::ostringstream out;
+  bool first = true;
+  for (const Constraint& c : constraints_) {
+    if (!first) out << " and ";
+    first = false;
+    out << c.describe();
+  }
+  return first ? "<any>" : out.str();
+}
+
+}  // namespace aa::event

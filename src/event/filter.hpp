@@ -1,0 +1,103 @@
+// Content-based filters over events, with Siena's covering relations.
+//
+// A Filter is a conjunction of attribute constraints (Carzaniga et al.,
+// TOCS 2001).  Two relations drive the distributed router (src/pubsub):
+//
+//   * matches(event)   — does an event satisfy the filter?
+//   * covers(other)    — is every event matching `other` guaranteed to
+//                        match this filter?  Routers use covering to
+//                        prune subscription forwarding: a subscription
+//                        already covered by a forwarded one need not be
+//                        propagated.
+//
+// covers() is *sound but conservative*: it may answer false for a pair
+// where covering actually holds (e.g. via unsatisfiability of the
+// covered filter), but never answers true incorrectly.  The property
+// tests in tests/event_filter_test.cpp enforce soundness by sampling.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "event/event.hpp"
+
+namespace aa::event {
+
+enum class Op {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPrefix,     // strings
+  kSuffix,     // strings
+  kSubstring,  // strings
+  kExists,     // any value of any type
+};
+
+const char* op_name(Op op);
+Result<Op> op_from_name(std::string_view name);
+
+struct Constraint {
+  std::string attribute;
+  Op op = Op::kExists;
+  AttrValue value;  // ignored for kExists
+
+  bool matches(const AttrValue& v) const;
+
+  /// True when satisfying *this* guarantees satisfying `weaker`
+  /// (both constraints are on the same attribute).
+  bool implies(const Constraint& weaker) const;
+
+  std::string describe() const;
+
+  bool operator==(const Constraint&) const = default;
+};
+
+class Filter {
+ public:
+  Filter() = default;
+  explicit Filter(std::vector<Constraint> constraints) : constraints_(std::move(constraints)) {}
+
+  /// Fluent builder: f.where("type", Op::kEq, "temp").where("value", Op::kGt, 20.0)
+  Filter& where(std::string attribute, Op op, AttrValue value = AttrValue());
+
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+  bool empty() const { return constraints_.empty(); }
+
+  bool matches(const Event& e) const;
+
+  /// Covering: every event matching `other` matches *this*.  The empty
+  /// filter matches everything, hence covers every filter.
+  bool covers(const Filter& other) const;
+
+  /// Conservative satisfiability of (this AND other): false only when
+  /// the two filters are provably disjoint on some attribute.  Used for
+  /// advertisement/subscription overlap in the router.
+  bool overlaps(const Filter& other) const;
+
+  std::string describe() const;
+
+  bool operator==(const Filter&) const = default;
+
+ private:
+  std::vector<Constraint> constraints_;
+};
+
+/// A subscription: who wants events matching what.
+struct Subscription {
+  std::uint64_t id = 0;
+  std::string subscriber;
+  Filter filter;
+};
+
+/// An advertisement: a publisher's declaration of the events it emits.
+struct Advertisement {
+  std::uint64_t id = 0;
+  std::string publisher;
+  Filter filter;
+};
+
+}  // namespace aa::event

@@ -1,0 +1,58 @@
+#include "match/discovery.hpp"
+
+namespace aa::match {
+
+DiscoveryService::DiscoveryService(sim::HostId host, storage::ObjectStore& store,
+                                   bundle::BundleDeployer& deployer,
+                                   std::function<bool(const std::string&)> is_handled,
+                                   std::function<sim::HostId(const std::string&)> place)
+    : host_(host),
+      store_(store),
+      deployer_(deployer),
+      is_handled_(std::move(is_handled)),
+      place_(std::move(place)) {}
+
+bool DiscoveryService::consider(const event::Event& e) {
+  const std::string type = e.type();
+  if (type.empty()) return true;  // untyped events are not discoverable
+  if (ignored_.contains(type)) return true;
+  if (deployed_.contains(type) || is_handled_(type)) return true;
+  ++stats_.unknown_events;
+  if (in_flight_.contains(type) || failed_.contains(type)) return false;
+  fetch_and_deploy(type);
+  return false;
+}
+
+void DiscoveryService::reset_failed() { failed_.clear(); }
+
+void DiscoveryService::fetch_and_deploy(const std::string& type) {
+  in_flight_.insert(type);
+  ++stats_.lookups;
+  store_.get(host_, handler_key(type), [this, type](Result<Bytes> result) {
+    if (!result.is_ok()) {
+      ++stats_.lookup_failures;
+      in_flight_.erase(type);
+      failed_.insert(type);
+      return;
+    }
+    auto bundle = bundle::CodeBundle::parse(to_string(result.value()));
+    if (!bundle.is_ok()) {
+      ++stats_.lookup_failures;
+      in_flight_.erase(type);
+      return;
+    }
+    const sim::HostId target = place_(type);
+    deployer_.push(host_, target, bundle.value(), [this, type](Result<bundle::DeployResult> r) {
+      in_flight_.erase(type);
+      if (r.is_ok() && (r.value() == bundle::DeployResult::kInstalled ||
+                        r.value() == bundle::DeployResult::kReplaced)) {
+        deployed_.insert(type);
+        ++stats_.handlers_deployed;
+      } else {
+        ++stats_.deploy_failures;
+      }
+    });
+  });
+}
+
+}  // namespace aa::match

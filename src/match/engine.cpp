@@ -1,0 +1,197 @@
+#include "match/engine.hpp"
+
+#include <sstream>
+
+namespace aa::match {
+
+namespace {
+// Hard cap per trigger window so a silent subscriber can't accumulate
+// unbounded state; oldest events are shed first.
+constexpr std::size_t kMaxWindowEvents = 4096;
+
+bool partial_ok(const Rule& rule, const Binding& binding) {
+  for (const auto& j : rule.joins) {
+    if (!join_holds(j, binding)) return false;
+  }
+  for (const auto& s : rule.spatials) {
+    if (!spatial_holds(s, binding)) return false;
+  }
+  return true;
+}
+}  // namespace
+
+void MatchEngine::add_rule(Rule rule) {
+  RuleState state;
+  state.rule = rule;
+  for (const auto& t : state.rule.triggers) state.windows[t.alias];
+  rules_.push_back(std::move(rule));
+  states_.push_back(std::move(state));
+}
+
+bool MatchEngine::remove_rule(const std::string& name) {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].name == name) {
+      rules_.erase(rules_.begin() + static_cast<std::ptrdiff_t>(i));
+      states_.erase(states_.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MatchEngine::handles_type(const std::string& type) const {
+  for (const Rule& r : rules_) {
+    if (r.could_handle_type(type)) return true;
+  }
+  return false;
+}
+
+void MatchEngine::expire(RuleState& state, SimTime now) {
+  for (const auto& t : state.rule.triggers) {
+    auto& window = state.windows[t.alias];
+    while (!window.empty() &&
+           (window.front().time() < now - t.window || window.size() > kMaxWindowEvents)) {
+      window.pop_front();
+    }
+  }
+}
+
+void MatchEngine::on_event(const event::Event& e, SimTime now, const Sink& sink) {
+  ++stats_.events_processed;
+  for (RuleState& state : states_) {
+    expire(state, now);
+    // An arriving event seeds at most one firing attempt per trigger it
+    // matches; it joins other aliases only via their windows, so a
+    // single event never binds two aliases of the same firing.
+    std::vector<std::size_t> matching;
+    for (std::size_t i = 0; i < state.rule.triggers.size(); ++i) {
+      if (state.rule.triggers[i].filter.matches(e)) matching.push_back(i);
+    }
+    for (std::size_t i : matching) {
+      ++stats_.trigger_matches;
+      try_fire(state, i, e, now, sink);
+    }
+    for (std::size_t i : matching) {
+      state.windows[state.rule.triggers[i].alias].push_back(e);
+    }
+  }
+}
+
+void MatchEngine::try_fire(RuleState& state, std::size_t seed_trigger, const event::Event& seed,
+                           SimTime now, const Sink& sink) {
+  Binding binding;
+  binding.emplace_back(state.rule.triggers[seed_trigger].alias, &seed);
+  if (!partial_ok(state.rule, binding)) return;
+  bool fired = false;
+  extend(state, binding, 0, &seed, seed_trigger, now, sink, fired);
+}
+
+bool MatchEngine::extend(RuleState& state, Binding& binding, std::size_t next_trigger,
+                         const event::Event* seed, std::size_t seed_index, SimTime now,
+                         const Sink& sink, bool& fired) {
+  if (next_trigger == state.rule.triggers.size()) {
+    return bind_facts(state, binding, 0, sink, now, fired);
+  }
+  if (next_trigger == seed_index) {
+    return extend(state, binding, next_trigger + 1, seed, seed_index, now, sink, fired);
+  }
+  const auto& trigger = state.rule.triggers[next_trigger];
+  const auto& window = state.windows[trigger.alias];
+  for (const event::Event& candidate : window) {
+    if (candidate.time() < now - trigger.window) continue;  // stale
+    ++stats_.candidate_bindings;
+    binding.emplace_back(trigger.alias, &candidate);
+    if (partial_ok(state.rule, binding)) {
+      extend(state, binding, next_trigger + 1, seed, seed_index, now, sink, fired);
+    }
+    binding.pop_back();
+  }
+  return fired;
+}
+
+bool MatchEngine::bind_facts(RuleState& state, Binding& binding, std::size_t next_fact,
+                             const Sink& sink, SimTime now, bool& fired) {
+  if (next_fact == state.rule.facts.size()) {
+    fire(state, binding, now, sink, fired);
+    return fired;
+  }
+  const auto& pattern = state.rule.facts[next_fact];
+  // Join pushdown: equality joins between this fact pattern and an
+  // already-bound alias become extra probe constraints, so the
+  // knowledge-base index narrows candidates to the joined value instead
+  // of every fact matching the base filter ("pref.user = loc.user"
+  // probes user=bob, not all preferences).
+  event::Filter probe = pattern.filter;
+  for (const auto& join : state.rule.joins) {
+    if (join.op != event::Op::kEq) continue;
+    const Operand* fact_side = nullptr;
+    const Operand* other_side = nullptr;
+    if (join.left.alias == pattern.alias && !join.left.constant.has_value()) {
+      fact_side = &join.left;
+      other_side = &join.right;
+    } else if (join.right.alias == pattern.alias && !join.right.constant.has_value()) {
+      fact_side = &join.right;
+      other_side = &join.left;
+    } else {
+      continue;
+    }
+    if (other_side->constant.has_value()) {
+      probe.where(fact_side->attr, event::Op::kEq, *other_side->constant);
+      continue;
+    }
+    const event::Event* bound_event = bound(binding, other_side->alias);
+    if (bound_event == nullptr) continue;
+    const event::AttrValue* v = bound_event->get(other_side->attr);
+    if (v != nullptr) probe.where(fact_side->attr, event::Op::kEq, *v);
+  }
+  for (const Fact* fact : kb_.query(probe)) {
+    ++stats_.candidate_bindings;
+    binding.emplace_back(pattern.alias, fact);
+    if (partial_ok(state.rule, binding)) {
+      bind_facts(state, binding, next_fact + 1, sink, now, fired);
+    }
+    binding.pop_back();
+  }
+  return fired;
+}
+
+std::string MatchEngine::emission_key(const event::Event& e) {
+  std::ostringstream out;
+  for (const auto& [name, value] : e.attributes()) {
+    if (name == "time") continue;
+    out << name << '=' << value.to_text() << ';';
+  }
+  return out.str();
+}
+
+void MatchEngine::fire(RuleState& state, const Binding& binding, SimTime now, const Sink& sink,
+                       bool& fired) {
+  event::Event out(state.rule.emit.type);
+  for (const auto& a : state.rule.emit.sets) {
+    if (a.constant.has_value()) {
+      out.set(a.name, *a.constant);
+      continue;
+    }
+    const event::Event* src = bound(binding, a.from_alias);
+    if (src == nullptr) continue;
+    const event::AttrValue* v = src->get(a.from_attr);
+    if (v != nullptr) out.set(a.name, *v);
+  }
+  out.set_time(now);
+  out.set("rule", state.rule.name);
+
+  if (state.rule.cooldown > 0) {
+    const std::string key = state.rule.name + "|" + emission_key(out);
+    auto it = last_fired_.find(key);
+    if (it != last_fired_.end() && now - it->second < state.rule.cooldown) {
+      ++stats_.cooldown_suppressed;
+      return;
+    }
+    last_fired_[key] = now;
+  }
+  ++stats_.matches_emitted;
+  fired = true;
+  sink(out);
+}
+
+}  // namespace aa::match

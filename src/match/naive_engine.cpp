@@ -1,0 +1,86 @@
+#include "match/naive_engine.hpp"
+
+namespace aa::match {
+
+namespace {
+bool partial_ok(const Rule& rule, const Binding& binding) {
+  for (const auto& j : rule.joins) {
+    if (!join_holds(j, binding)) return false;
+  }
+  for (const auto& s : rule.spatials) {
+    if (!spatial_holds(s, binding)) return false;
+  }
+  return true;
+}
+}  // namespace
+
+void NaiveEngine::on_event(const event::Event& e, SimTime now, const Sink& sink) {
+  for (const Rule& rule : rules_) {
+    for (std::size_t i = 0; i < rule.triggers.size(); ++i) {
+      if (!rule.triggers[i].filter.matches(e)) continue;
+      Binding binding;
+      binding.emplace_back(rule.triggers[i].alias, &e);
+      if (!partial_ok(rule, binding)) continue;
+      extend(rule, binding, 0, &e, i, now, sink);
+    }
+  }
+  history_.push_back(e);
+}
+
+void NaiveEngine::extend(const Rule& rule, Binding& binding, std::size_t next_trigger,
+                         const event::Event* seed, std::size_t seed_index, SimTime now,
+                         const Sink& sink) {
+  if (next_trigger == rule.triggers.size()) {
+    bind_facts(rule, binding, 0, now, sink);
+    return;
+  }
+  if (next_trigger == seed_index) {
+    extend(rule, binding, next_trigger + 1, seed, seed_index, now, sink);
+    return;
+  }
+  const auto& trigger = rule.triggers[next_trigger];
+  // Full-history rescan: every event is a candidate, filtered inline.
+  for (const event::Event& candidate : history_) {
+    ++candidates_;
+    if (candidate.time() < now - trigger.window) continue;
+    if (!trigger.filter.matches(candidate)) continue;
+    binding.emplace_back(trigger.alias, &candidate);
+    if (partial_ok(rule, binding)) {
+      extend(rule, binding, next_trigger + 1, seed, seed_index, now, sink);
+    }
+    binding.pop_back();
+  }
+}
+
+void NaiveEngine::bind_facts(const Rule& rule, Binding& binding, std::size_t next_fact,
+                             SimTime now, const Sink& sink) {
+  if (next_fact == rule.facts.size()) {
+    event::Event out(rule.emit.type);
+    for (const auto& a : rule.emit.sets) {
+      if (a.constant.has_value()) {
+        out.set(a.name, *a.constant);
+        continue;
+      }
+      const event::Event* src = bound(binding, a.from_alias);
+      if (src == nullptr) continue;
+      const event::AttrValue* v = src->get(a.from_attr);
+      if (v != nullptr) out.set(a.name, *v);
+    }
+    out.set_time(now);
+    out.set("rule", rule.name);
+    ++emitted_;
+    sink(out);
+    return;
+  }
+  const auto& pattern = rule.facts[next_fact];
+  // Deliberately unindexed: linear scan through every fact.
+  for (const Fact* f : kb_.all()) {
+    ++candidates_;
+    if (!pattern.filter.matches(*f)) continue;
+    binding.emplace_back(pattern.alias, f);
+    if (partial_ok(rule, binding)) bind_facts(rule, binding, next_fact + 1, now, sink);
+    binding.pop_back();
+  }
+}
+
+}  // namespace aa::match

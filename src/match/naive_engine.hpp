@@ -1,0 +1,45 @@
+// Naive rescan matcher: the C7 ablation baseline.
+//
+// Keeps every event ever seen and, on each arrival, re-enumerates full
+// candidate tuples against the complete history with no per-trigger
+// windows or knowledge-base index probes (facts are matched by linear
+// scan).  Semantically equivalent to MatchEngine on in-window data;
+// asymptotically the "huge number of items" strawman the paper's
+// matching service must avoid.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "match/knowledge.hpp"
+#include "match/rule.hpp"
+
+namespace aa::match {
+
+class NaiveEngine {
+ public:
+  using Sink = std::function<void(const event::Event&)>;
+
+  explicit NaiveEngine(KnowledgeBase& kb) : kb_(kb) {}
+
+  void add_rule(Rule rule) { rules_.push_back(std::move(rule)); }
+
+  void on_event(const event::Event& e, SimTime now, const Sink& sink);
+
+  std::uint64_t candidate_bindings() const { return candidates_; }
+  std::uint64_t matches_emitted() const { return emitted_; }
+
+ private:
+  void extend(const Rule& rule, Binding& binding, std::size_t next_trigger,
+              const event::Event* seed, std::size_t seed_index, SimTime now, const Sink& sink);
+  void bind_facts(const Rule& rule, Binding& binding, std::size_t next_fact, SimTime now,
+                  const Sink& sink);
+
+  KnowledgeBase& kb_;
+  std::vector<Rule> rules_;
+  std::vector<event::Event> history_;
+  std::uint64_t candidates_ = 0;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace aa::match

@@ -1,0 +1,202 @@
+#include "overlay/node.hpp"
+
+#include <algorithm>
+
+namespace aa::overlay {
+
+namespace {
+constexpr std::size_t kCandidatePool = 48;
+}
+
+OverlayNode::OverlayNode(sim::Network& net, NodeRef self, bool proximity_selection)
+    : net_(net), self_(self), proximity_selection_(proximity_selection) {}
+
+bool OverlayNode::alive(const NodeRef& ref) const {
+  return ref.valid() && net_.host_up(ref.host);
+}
+
+void OverlayNode::consider(const NodeRef& peer) {
+  if (!peer.valid() || peer.id == self_.id) return;
+
+  // Routing table slot for this peer.
+  const int row = self_.id.shared_prefix_digits(peer.id);
+  if (row < Uid160::kDigits) {
+    const int col = peer.id.digit(row);
+    NodeRef& slot = table_[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)];
+    if (!slot.valid() || slot.id == peer.id) {
+      slot = peer;
+    } else if (proximity_selection_) {
+      const auto& topo = net_.topology();
+      if (topo.latency(self_.host, peer.host) < topo.latency(self_.host, slot.host)) {
+        slot = peer;
+      }
+    }
+  }
+
+  rebuild_leaf(peer);
+}
+
+void OverlayNode::rebuild_leaf(const NodeRef& extra) {
+  // Maintain a bounded pool of known near peers; the leaf set is always
+  // recomputed from the pool so departures can be healed from it.
+  if (extra.valid() && extra.id != self_.id) {
+    auto it = std::find(candidates_.begin(), candidates_.end(), extra);
+    if (it != candidates_.end()) {
+      it->host = extra.host;  // refresh placement
+    } else {
+      candidates_.push_back(extra);
+    }
+  }
+  // Trim the pool, keeping the ring-closest peers.
+  if (candidates_.size() > kCandidatePool) {
+    std::sort(candidates_.begin(), candidates_.end(), [&](const NodeRef& a, const NodeRef& b) {
+      return a.id.ring_distance(self_.id) < b.id.ring_distance(self_.id);
+    });
+    candidates_.resize(kCandidatePool);
+  }
+
+  // L/2 nearest successors (clockwise from our id) and predecessors.
+  std::vector<NodeRef> cw = candidates_;
+  std::sort(cw.begin(), cw.end(), [&](const NodeRef& a, const NodeRef& b) {
+    return self_.id.ring_distance_cw(a.id) < self_.id.ring_distance_cw(b.id);
+  });
+  std::vector<NodeRef> ccw = candidates_;
+  std::sort(ccw.begin(), ccw.end(), [&](const NodeRef& a, const NodeRef& b) {
+    return a.id.ring_distance_cw(self_.id) < b.id.ring_distance_cw(self_.id);
+  });
+  const std::size_t half = kLeafSetSize / 2;
+  leaf_.clear();
+  for (std::size_t i = 0; i < std::min(half, cw.size()); ++i) leaf_.push_back(cw[i]);
+  for (std::size_t i = 0; i < std::min(half, ccw.size()); ++i) {
+    if (std::find(leaf_.begin(), leaf_.end(), ccw[i]) == leaf_.end()) leaf_.push_back(ccw[i]);
+  }
+}
+
+void OverlayNode::remove(const NodeId& id) {
+  for (auto& row : table_) {
+    for (auto& slot : row) {
+      if (slot.valid() && slot.id == id) slot = NodeRef{};
+    }
+  }
+  std::erase_if(candidates_, [&](const NodeRef& r) { return r.id == id; });
+  rebuild_leaf(NodeRef{});
+}
+
+void OverlayNode::repair(const NodeRef& dead) {
+  ++stats_.repairs;
+  remove(dead.id);
+}
+
+std::optional<NodeRef> OverlayNode::next_hop(const ObjectId& key) {
+  // Rule 1 — leaf-set rule.  Determine the ring segment the leaf set
+  // covers (furthest predecessor .. furthest successor, through self);
+  // if the key falls inside, the numerically closest member owns it.
+  for (;;) {
+    NodeRef furthest_cw{}, furthest_ccw{};
+    Uid160 best_cw, best_ccw;
+    bool repaired = false;
+    for (const NodeRef& p : leaf_) {
+      if (!alive(p)) {
+        repair(p);
+        repaired = true;
+        break;
+      }
+      const Uid160 dcw = self_.id.ring_distance_cw(p.id);
+      const Uid160 dccw = p.id.ring_distance_cw(self_.id);
+      if (dcw <= dccw && dcw >= best_cw) {
+        best_cw = dcw;
+        furthest_cw = p;
+      }
+      if (dccw < dcw && dccw >= best_ccw) {
+        best_ccw = dccw;
+        furthest_ccw = p;
+      }
+    }
+    if (repaired) continue;  // leaf changed; re-evaluate
+
+    const NodeId lo = furthest_ccw.valid() ? furthest_ccw.id : self_.id;
+    const NodeId hi = furthest_cw.valid() ? furthest_cw.id : self_.id;
+    const bool in_range = leaf_.empty() ||
+                          lo.ring_distance_cw(key) <= lo.ring_distance_cw(hi) ||
+                          leaf_.size() < kLeafSetSize;  // sparse ring: leaf covers all
+    if (in_range) {
+      NodeRef best = self_;
+      for (const NodeRef& p : leaf_) {
+        if (p.id.closer_to(key, best.id)) best = p;
+      }
+      if (best.id == self_.id) return std::nullopt;  // we are the root
+      return best;
+    }
+    break;
+  }
+
+  // Rule 2 — routing-table rule: strict prefix progress.
+  const int row = self_.id.shared_prefix_digits(key);
+  if (row < Uid160::kDigits) {
+    NodeRef& slot = table_[static_cast<std::size_t>(row)][static_cast<std::size_t>(key.digit(row))];
+    if (slot.valid()) {
+      if (alive(slot)) return slot;
+      repair(slot);
+    }
+  }
+
+  // Rule 3 — rare case: any known node at least as good in prefix and
+  // strictly closer on the ring.
+  NodeRef best{};
+  auto offer = [&](const NodeRef& p) {
+    if (!p.valid() || p.id == self_.id) return;
+    if (!alive(p)) return;
+    if (p.id.shared_prefix_digits(key) < row) return;
+    if (!p.id.closer_to(key, self_.id)) return;
+    if (!best.valid() || p.id.closer_to(key, best.id)) best = p;
+  };
+  for (const NodeRef& p : leaf_) offer(p);
+  for (const auto& r : table_) {
+    for (const NodeRef& p : r) offer(p);
+  }
+  if (best.valid()) return best;
+  return std::nullopt;  // nobody better known: deliver here
+}
+
+std::vector<NodeRef> OverlayNode::row_contacts(int shared) const {
+  std::vector<NodeRef> out;
+  if (shared >= 0 && shared < Uid160::kDigits) {
+    for (const NodeRef& p : table_[static_cast<std::size_t>(shared)]) {
+      if (p.valid()) out.push_back(p);
+    }
+  }
+  out.push_back(self_);
+  return out;
+}
+
+std::vector<NodeRef> OverlayNode::replica_set(const ObjectId& key, int count) const {
+  std::vector<NodeRef> all = leaf_;
+  all.push_back(self_);
+  std::sort(all.begin(), all.end(), [&](const NodeRef& a, const NodeRef& b) {
+    return a.id.closer_to(key, b.id);
+  });
+  if (static_cast<int>(all.size()) > count) all.resize(static_cast<std::size_t>(count));
+  return all;
+}
+
+std::vector<NodeRef> OverlayNode::known_peers() const {
+  std::vector<NodeRef> out = leaf_;
+  for (const auto& row : table_) {
+    for (const NodeRef& p : row) {
+      if (p.valid() && std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::size_t OverlayNode::routing_entries() const {
+  std::size_t n = 0;
+  for (const auto& row : table_) {
+    for (const NodeRef& p : row) {
+      if (p.valid()) ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace aa::overlay

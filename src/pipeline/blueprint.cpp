@@ -1,0 +1,116 @@
+#include "pipeline/blueprint.hpp"
+
+#include <cstdlib>
+#include <memory>
+
+namespace aa::pipeline {
+
+Result<Blueprint> Blueprint::from_xml(const xml::Element& element) {
+  if (element.name() != "pipeline") {
+    return Status(Code::kInvalidArgument, "expected <pipeline>");
+  }
+  Blueprint bp;
+  bp.name_ = element.attribute("name").value_or("");
+  if (bp.name_.empty()) return Status(Code::kInvalidArgument, "<pipeline> needs a name");
+
+  for (const xml::Element* comp : element.children_named("component")) {
+    ComponentSpec spec;
+    spec.name = comp->attribute("name").value_or("");
+    spec.type = comp->attribute("type").value_or("");
+    const auto host = comp->attribute("host");
+    if (spec.name.empty() || spec.type.empty() || !host) {
+      return Status(Code::kInvalidArgument, "<component> needs name, type, host");
+    }
+    spec.host = static_cast<sim::HostId>(std::strtoul(host->c_str(), nullptr, 10));
+    if (const xml::Element* config = comp->child("config")) spec.config = *config;
+    for (const auto& existing : bp.components_) {
+      if (existing.name == spec.name) {
+        return Status(Code::kAlreadyExists, "duplicate component name: " + spec.name);
+      }
+    }
+    bp.components_.push_back(std::move(spec));
+  }
+  if (bp.components_.empty()) {
+    return Status(Code::kInvalidArgument, "<pipeline> needs at least one component");
+  }
+
+  auto find_component = [&](const std::string& name) -> const ComponentSpec* {
+    for (const auto& c : bp.components_) {
+      if (c.name == name) return &c;
+    }
+    return nullptr;
+  };
+
+  for (const xml::Element* link : element.children_named("link")) {
+    const auto from = link->attribute("from");
+    if (!from || find_component(*from) == nullptr) {
+      return Status(Code::kInvalidArgument, "<link> 'from' must name a blueprint component");
+    }
+    LinkSpec spec;
+    spec.from = *from;
+    if (const auto to = link->attribute("to")) {
+      const ComponentSpec* target = find_component(*to);
+      if (target == nullptr) {
+        return Status(Code::kInvalidArgument, "<link> 'to' names unknown component: " + *to);
+      }
+      spec.to = ComponentRef{target->host, target->name};
+    } else {
+      const auto to_host = link->attribute("to-host");
+      const auto to_comp = link->attribute("to-component");
+      if (!to_host || !to_comp) {
+        return Status(Code::kInvalidArgument,
+                      "<link> needs 'to' or 'to-host' + 'to-component'");
+      }
+      spec.to = ComponentRef{
+          static_cast<sim::HostId>(std::strtoul(to_host->c_str(), nullptr, 10)), *to_comp};
+    }
+    bp.links_.push_back(std::move(spec));
+  }
+  return bp;
+}
+
+Result<Blueprint> Blueprint::parse(std::string_view text) {
+  auto doc = xml::parse(text);
+  if (!doc.is_ok()) return doc.status();
+  return from_xml(doc.value());
+}
+
+std::vector<std::pair<sim::HostId, bundle::CodeBundle>> Blueprint::compile(
+    const std::string& capability) const {
+  std::vector<std::pair<sim::HostId, bundle::CodeBundle>> out;
+  out.reserve(components_.size());
+  for (const auto& comp : components_) {
+    xml::Element config = comp.config;
+    for (const auto& link : links_) {
+      if (link.from != comp.name) continue;
+      xml::Element connect("connect");
+      connect.set_attribute("host", std::to_string(link.to.host));
+      connect.set_attribute("component", link.to.name);
+      config.add_child(std::move(connect));
+    }
+    bundle::CodeBundle b(comp.name, comp.type, std::move(config));
+    b.require_capability(capability);
+    out.emplace_back(comp.host, std::move(b));
+  }
+  return out;
+}
+
+void Blueprint::deploy(bundle::BundleDeployer& deployer, sim::HostId from,
+                       std::function<void(int, int)> done) const {
+  auto bundles = compile();
+  const int total = static_cast<int>(bundles.size());
+  // Shared across the per-bundle callbacks; fires `done` on the last ack.
+  auto state = std::make_shared<std::pair<int, int>>(0, 0);  // installed, answered
+  for (auto& [host, b] : bundles) {
+    deployer.push(from, host, b,
+                  [state, total, done](Result<bundle::DeployResult> r) {
+                    if (r.is_ok() && (r.value() == bundle::DeployResult::kInstalled ||
+                                      r.value() == bundle::DeployResult::kReplaced)) {
+                      ++state->first;
+                    }
+                    if (++state->second == total && done) done(state->first, total);
+                  });
+  }
+}
+
+}  // namespace aa::pipeline

@@ -1,0 +1,75 @@
+// Pipeline blueprints: a whole distributed pipeline described as one
+// declarative XML document and deployed as a set of code bundles.
+//
+// §4.3 separates "initial deployment of a pipeline deployment
+// infrastructure" from "ongoing deployment and redeployment of
+// individual pipeline components".  A Blueprint is the unit an
+// implementer works with for the second part: it names the components,
+// their hosts and configurations, and the links between them, then
+// compiles to one sealed bundle per component (links become the
+// bundles' <connect> elements) and ships them through the normal
+// deployer — so a pipeline deployment is indistinguishable from any
+// other code push.
+//
+//   <pipeline name="weather-path">
+//     <component name="roof" host="3" type="pipe.sensor.temperature">
+//       <config period_ms="60000" sensor_id="w1"/>
+//     </component>
+//     <component name="thr" host="3" type="pipe.filter">
+//       <config filter="celsius &gt; 20"/>
+//     </component>
+//     <link from="roof" to="thr"/>
+//     <link from="thr" to-host="5" to-component="collector"/>
+//   </pipeline>
+//
+// Links with `to` reference components inside the blueprint; links with
+// `to-host`/`to-component` attach to externally managed components.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bundle/deployer.hpp"
+#include "pipeline/pipeline_network.hpp"
+
+namespace aa::pipeline {
+
+class Blueprint {
+ public:
+  struct ComponentSpec {
+    std::string name;
+    sim::HostId host = sim::kNoHost;
+    std::string type;
+    xml::Element config{"config"};
+  };
+  struct LinkSpec {
+    std::string from;
+    ComponentRef to;  // resolved target (internal or external)
+  };
+
+  const std::string& name() const { return name_; }
+  const std::vector<ComponentSpec>& components() const { return components_; }
+  const std::vector<LinkSpec>& links() const { return links_; }
+
+  static Result<Blueprint> from_xml(const xml::Element& element);
+  static Result<Blueprint> parse(std::string_view text);
+
+  /// Compiles the blueprint to one bundle per component.  Each bundle
+  /// requires `capability` and carries the component's outgoing links
+  /// as <connect> children.
+  std::vector<std::pair<sim::HostId, bundle::CodeBundle>> compile(
+      const std::string& capability = "run.pipeline") const;
+
+  /// Ships every compiled bundle from `from`.  `done` fires once, after
+  /// all acks (or failures) arrive, with the number installed.
+  void deploy(bundle::BundleDeployer& deployer, sim::HostId from,
+              std::function<void(int installed, int total)> done = nullptr) const;
+
+ private:
+  std::string name_;
+  std::vector<ComponentSpec> components_;
+  std::vector<LinkSpec> links_;
+};
+
+}  // namespace aa::pipeline

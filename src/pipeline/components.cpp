@@ -1,0 +1,64 @@
+#include "pipeline/components.hpp"
+
+namespace aa::pipeline {
+
+void MovementThresholdFilter::on_event(const event::Event& e) {
+  const auto user = e.get_string("user");
+  const auto lat = e.get_real("lat");
+  const auto lon = e.get_real("lon");
+  if (!user || !lat || !lon) {
+    drop();  // not a user-location event
+    return;
+  }
+  const GeoPoint pos{*lat, *lon};
+  auto it = last_forwarded_.find(*user);
+  if (it != last_forwarded_.end() && geo_distance_m(it->second, pos) < threshold_m_) {
+    drop();
+    return;
+  }
+  last_forwarded_[*user] = pos;
+  emit(e);
+}
+
+BufferComponent::BufferComponent(std::string name, std::size_t flush_count,
+                                 SimDuration flush_period)
+    : Component(std::move(name)), flush_count_(flush_count), flush_period_(flush_period) {}
+
+BufferComponent::~BufferComponent() {
+  if (timer_ != sim::kInvalidTask && network() != nullptr) {
+    network()->network().scheduler().cancel(timer_);
+  }
+}
+
+void BufferComponent::arm_timer() {
+  if (timer_ != sim::kInvalidTask || flush_period_ <= 0 || network() == nullptr) return;
+  timer_ = network()->network().scheduler().after(flush_period_, [this]() {
+    timer_ = sim::kInvalidTask;
+    flush();
+  });
+}
+
+void BufferComponent::on_event(const event::Event& e) {
+  buffer_.push_back(e);
+  arm_timer();
+  if (buffer_.size() >= flush_count_) flush();
+}
+
+void BufferComponent::flush() {
+  if (timer_ != sim::kInvalidTask && network() != nullptr) {
+    network()->network().scheduler().cancel(timer_);
+    timer_ = sim::kInvalidTask;
+  }
+  while (!buffer_.empty()) {
+    emit(buffer_.front());
+    buffer_.pop_front();
+  }
+}
+
+BusSubscriber::BusSubscriber(std::string name, pubsub::EventService& bus, sim::HostId host,
+                             const event::Filter& filter)
+    : Component(std::move(name)), bus_(bus) {
+  bus_.subscribe(host, filter, [this](const event::Event& e) { put(e); });
+}
+
+}  // namespace aa::pipeline

@@ -1,0 +1,137 @@
+// The standard component library (§4.2): filtering ("transmitting
+// user-location events only when the distance moved exceeds a certain
+// threshold"), buffering, transformation, sinks, and bridges onto the
+// global event bus (§5: "Each matchlet writes its results onto the
+// event bus").
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "common/geo.hpp"
+#include "event/filter.hpp"
+#include "pipeline/pipeline_network.hpp"
+#include "pubsub/event_service.hpp"
+
+namespace aa::pipeline {
+
+/// Forwards only events matching a content filter.
+class FilterComponent final : public Component {
+ public:
+  FilterComponent(std::string name, event::Filter filter)
+      : Component(std::move(name)), filter_(std::move(filter)) {}
+
+ protected:
+  void on_event(const event::Event& e) override {
+    if (filter_.matches(e)) {
+      emit(e);
+    } else {
+      drop();
+    }
+  }
+
+ private:
+  event::Filter filter_;
+};
+
+/// Applies a function to each event; emits the results (zero or more
+/// per input).
+class TransformComponent final : public Component {
+ public:
+  using Fn = std::function<std::vector<event::Event>(const event::Event&)>;
+  TransformComponent(std::string name, Fn fn) : Component(std::move(name)), fn_(std::move(fn)) {}
+
+ protected:
+  void on_event(const event::Event& e) override {
+    const auto out = fn_(e);
+    if (out.empty()) drop();
+    for (const auto& o : out) emit(o);
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// The paper's movement-threshold filter: passes a user-location event
+/// only when the user has moved at least `threshold_m` metres since the
+/// last forwarded position (per-user state).
+class MovementThresholdFilter final : public Component {
+ public:
+  MovementThresholdFilter(std::string name, double threshold_m)
+      : Component(std::move(name)), threshold_m_(threshold_m) {}
+
+ protected:
+  void on_event(const event::Event& e) override;
+
+ private:
+  double threshold_m_;
+  std::map<std::string, GeoPoint> last_forwarded_;
+};
+
+/// Buffers events and flushes them downstream in arrival order when
+/// `flush_count` accumulate or `flush_period` elapses, whichever first.
+class BufferComponent final : public Component {
+ public:
+  BufferComponent(std::string name, std::size_t flush_count, SimDuration flush_period);
+  ~BufferComponent() override;
+
+  std::size_t buffered() const { return buffer_.size(); }
+
+ protected:
+  void on_event(const event::Event& e) override;
+
+ private:
+  void flush();
+  void arm_timer();
+
+  std::size_t flush_count_;
+  SimDuration flush_period_;
+  std::deque<event::Event> buffer_;
+  sim::TaskId timer_ = sim::kInvalidTask;
+};
+
+/// Terminal component: hands events to a callback (a user-interface
+/// delivery point, a test probe, a log).
+class SinkComponent final : public Component {
+ public:
+  using Fn = std::function<void(const event::Event&)>;
+  SinkComponent(std::string name, Fn fn) : Component(std::move(name)), fn_(std::move(fn)) {}
+
+ protected:
+  void on_event(const event::Event& e) override { fn_(e); }
+
+ private:
+  Fn fn_;
+};
+
+/// Publishes every incoming pipeline event onto the global event bus.
+class BusPublisher final : public Component {
+ public:
+  BusPublisher(std::string name, pubsub::EventService& bus)
+      : Component(std::move(name)), bus_(bus) {}
+
+ protected:
+  void on_event(const event::Event& e) override { bus_.publish(ref().host, e); }
+
+ private:
+  pubsub::EventService& bus_;
+};
+
+/// Subscribes to the global event bus and injects matching events into
+/// the pipeline.  (Construction performs the subscription; destruction
+/// does not race the bus because components live in the
+/// PipelineNetwork, which outlives scheduler activity in experiments.)
+class BusSubscriber final : public Component {
+ public:
+  BusSubscriber(std::string name, pubsub::EventService& bus, sim::HostId host,
+                const event::Filter& filter);
+
+ protected:
+  void on_event(const event::Event& e) override { emit(e); }
+
+ private:
+  pubsub::EventService& bus_;
+};
+
+}  // namespace aa::pipeline

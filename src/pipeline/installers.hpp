@@ -1,0 +1,36 @@
+// Bridges code push to the pipeline fabric: registers Cingal installers
+// that materialise pipeline components from bundle configuration (§4.3:
+// "constructing the pipeline components as code bundles that may be
+// deployed onto Cingal thin servers").
+//
+// Component types understood:
+//   pipe.filter       config: filter="<subscription language>"
+//   pipe.threshold    config: meters="250"
+//   pipe.buffer       config: count="10" period_ms="500"
+//   pipe.publisher    (publishes every event onto the event bus)
+//   pipe.subscriber   config: filter="..." (bus -> pipeline injection)
+//   pipe.sensor.temperature   config: period_ms, sensor_id, location,
+//                             base, amplitude, seed
+//   pipe.sensor.gps           config: period_ms, user, lat_min/max,
+//                             lon_min/max, speed, seed
+//   pipe.sensor.presence      config: period_ms, user, places (comma
+//                             separated), seed
+//
+// Any component's config may carry <connect host="H" component="C"/>
+// children: downstream links wired at install time — a bundle therefore
+// describes both a pipeline stage and its place in the topology.
+#pragma once
+
+#include "bundle/thin_server.hpp"
+#include "pipeline/pipeline_network.hpp"
+#include "pubsub/event_service.hpp"
+
+namespace aa::pipeline {
+
+/// Registers all pipe.* installers on the runtime.  `bus` may be null
+/// if no event service is wired (pipe.publisher / pipe.subscriber then
+/// fail installation).
+void register_pipeline_installers(bundle::ThinServerRuntime& runtime,
+                                  PipelineNetwork& pipelines, pubsub::EventService* bus);
+
+}  // namespace aa::pipeline

@@ -1,0 +1,83 @@
+// The pipeline fabric: hosts components, wires links, moves events.
+//
+// Inter-node event transfer is XML on the wire: the event is rendered
+// with Event::to_xml_string() and re-parsed at the receiver, so the wire
+// size and the serialisation path both match the paper's XML-pipeline
+// design (§4.2, §4.7 — "standardised and open interfaces and data
+// formats wherever possible — thus XML-encoded events, web service
+// interfaces").
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "pipeline/component.hpp"
+#include "sim/network.hpp"
+
+namespace aa::pipeline {
+
+struct PipelineStats {
+  std::uint64_t intra_node_hops = 0;
+  std::uint64_t inter_node_hops = 0;
+  std::uint64_t undeliverable = 0;  // link to missing/removed component
+  std::uint64_t parse_failures = 0;
+};
+
+class PipelineNetwork {
+ public:
+  struct Params {
+    /// CPU cost a component charges per event before downstream
+    /// dispatch.
+    SimDuration processing_delay = duration::micros(50);
+  };
+
+  PipelineNetwork(sim::Network& net, Params params);
+  explicit PipelineNetwork(sim::Network& net) : PipelineNetwork(net, Params{}) {}
+  ~PipelineNetwork();
+
+  PipelineNetwork(const PipelineNetwork&) = delete;
+  PipelineNetwork& operator=(const PipelineNetwork&) = delete;
+
+  /// Installs a component on a host.  Returns its reference.  A
+  /// component with the same name on the same host is replaced (links
+  /// to it are preserved — this is how bundles evolve a pipeline stage
+  /// in place).
+  ComponentRef add(sim::HostId host, std::unique_ptr<Component> component);
+
+  /// Removes a component; inbound links to it start counting as
+  /// undeliverable.
+  bool remove(const ComponentRef& ref);
+
+  Component* component(const ComponentRef& ref);
+  const Component* component(const ComponentRef& ref) const;
+  bool exists(const ComponentRef& ref) const { return component(ref) != nullptr; }
+
+  /// Connects upstream -> downstream.  Duplicate links are ignored.
+  Status connect(const ComponentRef& upstream, const ComponentRef& downstream);
+  Status disconnect(const ComponentRef& upstream, const ComponentRef& downstream);
+  std::vector<ComponentRef> downstream_of(const ComponentRef& ref) const;
+
+  /// External event injection (a device pushing into the pipeline).
+  void inject(const ComponentRef& ref, const event::Event& e);
+
+  const PipelineStats& stats() const { return stats_; }
+  sim::Network& network() { return net_; }
+  SimTime now() const { return net_.scheduler().now(); }
+
+ private:
+  friend class Component;
+  /// Called by Component::emit — fans out to downstream links.
+  void dispatch(const ComponentRef& from, const event::Event& e);
+  void deliver_local(const ComponentRef& to, const event::Event& e);
+  void on_message(sim::HostId host, const sim::Packet& packet);
+  void ensure_host(sim::HostId host);
+
+  sim::Network& net_;
+  Params params_;
+  std::map<ComponentRef, std::unique_ptr<Component>> components_;
+  std::map<ComponentRef, std::vector<ComponentRef>> links_;
+  std::map<sim::HostId, bool> handlers_;
+  PipelineStats stats_;
+};
+
+}  // namespace aa::pipeline

@@ -1,0 +1,175 @@
+#include "pubsub/broker.hpp"
+
+namespace aa::pubsub {
+
+Broker::Broker(sim::Network& net, sim::HostId host) : net_(net), host_(host) {}
+
+void Broker::add_neighbour(sim::HostId broker_host) { neighbours_.insert(broker_host); }
+
+void Broker::remove_neighbour(sim::HostId broker_host) {
+  neighbours_.erase(broker_host);
+  forwarded_.erase(broker_host);
+  // Routing state learned over the severed link is no longer reachable.
+  std::erase_if(table_, [&](const auto& entry) {
+    return entry.second.source.kind == Iface::Kind::kBroker &&
+           entry.second.source.host == broker_host;
+  });
+  std::erase_if(adverts_, [&](const auto& entry) {
+    return entry.second.source.kind == Iface::Kind::kBroker &&
+           entry.second.source.host == broker_host;
+  });
+}
+
+void Broker::on_message(const sim::Packet& packet) {
+  const bool from_broker = neighbours_.contains(packet.src);
+  const Iface source{from_broker ? Iface::Kind::kBroker : Iface::Kind::kClient, packet.src};
+
+  if (const auto* sub = sim::packet_body<SubscribeMsg>(packet)) {
+    handle_subscribe(sub->id, sub->filter, source);
+  } else if (const auto* unsub = sim::packet_body<UnsubscribeMsg>(packet)) {
+    handle_unsubscribe(unsub->id, source);
+  } else if (const auto* adv = sim::packet_body<AdvertiseMsg>(packet)) {
+    handle_advertise(adv->id, adv->filter, source);
+  } else if (const auto* pub = sim::packet_body<PublishMsg>(packet)) {
+    route_publish(pub->event,
+                  from_broker ? std::optional<sim::HostId>(packet.src) : std::nullopt);
+  }
+}
+
+void Broker::local_subscribe(std::uint64_t id, const event::Filter& filter,
+                             sim::HostId client_host) {
+  handle_subscribe(id, filter, Iface{Iface::Kind::kClient, client_host});
+}
+
+void Broker::local_unsubscribe(std::uint64_t id) {
+  auto it = table_.find(id);
+  if (it == table_.end()) return;
+  handle_unsubscribe(id, it->second.source);
+}
+
+void Broker::local_publish(const event::Event& e) { route_publish(e, std::nullopt); }
+
+bool Broker::covered_at(sim::HostId neighbour, const event::Filter& filter,
+                        std::uint64_t ignore_id) const {
+  auto it = forwarded_.find(neighbour);
+  if (it == forwarded_.end()) return false;
+  for (std::uint64_t fid : it->second) {
+    if (fid == ignore_id) continue;
+    auto entry = table_.find(fid);
+    if (entry != table_.end() && entry->second.filter.covers(filter)) return true;
+  }
+  return false;
+}
+
+void Broker::send_subscribe(sim::HostId neighbour, std::uint64_t id,
+                            const event::Filter& filter) {
+  SubscribeMsg msg{id, filter};
+  const std::size_t size = subscribe_wire_size(msg);
+  net_.send(host_, neighbour, kBrokerProto, std::move(msg), size);
+  ++stats_.subscriptions_forwarded;
+}
+
+bool Broker::advert_allows(sim::HostId neighbour, const event::Filter& filter) const {
+  if (!advertisement_forwarding_) return true;
+  for (const auto& [id, adv] : adverts_) {
+    if (adv.source.kind == Iface::Kind::kBroker && adv.source.host == neighbour &&
+        adv.filter.overlaps(filter)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Broker::handle_subscribe(std::uint64_t id, const event::Filter& filter, Iface source) {
+  table_[id] = Entry{filter, source};
+  for (sim::HostId n : neighbours_) {
+    if (source.kind == Iface::Kind::kBroker && source.host == n) continue;
+    if (forwarded_[n].contains(id)) continue;  // idempotent re-subscribe
+    if (!advert_allows(n, filter)) {
+      ++stats_.subscriptions_suppressed;
+      continue;
+    }
+    if (covered_at(n, filter, id)) {
+      ++stats_.subscriptions_suppressed;
+      continue;
+    }
+    forwarded_[n].insert(id);
+    send_subscribe(n, id, filter);
+  }
+}
+
+void Broker::handle_advertise(std::uint64_t id, const event::Filter& filter, Iface source) {
+  const bool known = adverts_.contains(id);
+  adverts_[id] = Entry{filter, source};
+  if (known) return;
+  // Flood the advertisement away from its source.
+  for (sim::HostId n : neighbours_) {
+    if (source.kind == Iface::Kind::kBroker && source.host == n) continue;
+    AdvertiseMsg msg{id, filter};
+    net_.send(host_, n, kBrokerProto, std::move(msg), filter_wire_size(filter) + 8);
+  }
+  if (!advertisement_forwarding_) return;
+  // A new advertisement may unlock pending subscriptions toward its
+  // source: re-evaluate everything not yet forwarded that direction.
+  if (source.kind != Iface::Kind::kBroker) return;
+  const sim::HostId n = source.host;
+  for (const auto& [sid, entry] : table_) {
+    if (entry.source.kind == Iface::Kind::kBroker && entry.source.host == n) continue;
+    if (forwarded_[n].contains(sid)) continue;
+    if (!filter.overlaps(entry.filter)) continue;
+    if (covered_at(n, entry.filter, sid)) continue;
+    forwarded_[n].insert(sid);
+    send_subscribe(n, sid, entry.filter);
+  }
+}
+
+void Broker::handle_unsubscribe(std::uint64_t id, Iface source) {
+  (void)source;
+  auto it = table_.find(id);
+  if (it == table_.end()) return;
+  table_.erase(it);
+
+  for (sim::HostId n : neighbours_) {
+    auto fwd = forwarded_.find(n);
+    if (fwd == forwarded_.end() || !fwd->second.contains(id)) continue;
+    fwd->second.erase(id);
+    net_.send(host_, n, kBrokerProto, UnsubscribeMsg{id}, 16);
+
+    // The removed subscription may have been covering others: re-forward
+    // any table entry now uncovered in direction n.
+    for (const auto& [tid, entry] : table_) {
+      if (entry.source.kind == Iface::Kind::kBroker && entry.source.host == n) continue;
+      if (fwd->second.contains(tid)) continue;
+      if (covered_at(n, entry.filter, tid)) continue;
+      fwd->second.insert(tid);
+      send_subscribe(n, tid, entry.filter);
+    }
+  }
+}
+
+void Broker::route_publish(const event::Event& e, std::optional<sim::HostId> arrival_broker) {
+  ++stats_.publications_routed;
+  std::set<sim::HostId> forward_to;
+  std::set<sim::HostId> deliver_to;
+  for (const auto& [id, entry] : table_) {
+    ++stats_.match_tests;
+    if (!entry.filter.matches(e)) continue;
+    if (entry.source.kind == Iface::Kind::kBroker) {
+      if (!arrival_broker || entry.source.host != *arrival_broker) {
+        forward_to.insert(entry.source.host);
+      }
+    } else {
+      deliver_to.insert(entry.source.host);
+    }
+  }
+  const std::size_t size = e.wire_size();
+  for (sim::HostId n : forward_to) {
+    net_.send(host_, n, kBrokerProto, PublishMsg{e}, size);
+  }
+  for (sim::HostId c : deliver_to) {
+    net_.send(host_, c, kClientProto, DeliverMsg{e}, size);
+    ++stats_.deliveries;
+  }
+}
+
+}  // namespace aa::pubsub

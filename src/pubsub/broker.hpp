@@ -1,0 +1,115 @@
+// A content-based routing broker (the Siena model, Carzaniga et al.).
+//
+// Brokers form an acyclic overlay.  Subscriptions flow away from the
+// subscriber and install reverse routing state: a table entry
+// (filter, interface) means "subscribers in the direction of that
+// interface want events matching filter".  A publication arriving on
+// interface J is forwarded to every other interface that has a matching
+// entry, and delivered to matching local clients.
+//
+// Subscription propagation is pruned by *covering* (event/filter.hpp):
+// a subscription is not forwarded to a neighbour that has already been
+// sent a covering subscription from this broker — the covering filter
+// already attracts every event the covered one needs.  Unsubscription
+// restores any forwarding the removed subscription was suppressing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "event/event.hpp"
+#include "event/filter.hpp"
+#include "pubsub/messages.hpp"
+#include "sim/network.hpp"
+
+namespace aa::pubsub {
+
+struct BrokerStats {
+  std::uint64_t publications_routed = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t subscriptions_forwarded = 0;
+  std::uint64_t subscriptions_suppressed = 0;  // covering prunes
+  std::uint64_t match_tests = 0;
+};
+
+class Broker {
+ public:
+  Broker(sim::Network& net, sim::HostId host);
+
+  sim::HostId host() const { return host_; }
+
+  /// Advertisement-forwarding mode (off by default): subscriptions are
+  /// propagated to a neighbour only when an advertisement that arrived
+  /// *from* that neighbour overlaps them — i.e. subscriptions chase
+  /// publishers instead of flooding (Carzaniga et al.'s advertisement
+  /// semantics).  Advertisements themselves are flooded.  All brokers
+  /// of an overlay must agree on the mode.
+  void set_advertisement_forwarding(bool on) { advertisement_forwarding_ = on; }
+  bool advertisement_forwarding() const { return advertisement_forwarding_; }
+
+  /// Declares a neighbour broker (call on both endpoints; the overlay
+  /// must remain acyclic — SienaNetwork enforces a tree).
+  void add_neighbour(sim::HostId broker_host);
+  void remove_neighbour(sim::HostId broker_host);
+  const std::set<sim::HostId>& neighbours() const { return neighbours_; }
+
+  /// Handles an incoming protocol message (wired up by SienaNetwork).
+  void on_message(const sim::Packet& packet);
+
+  /// Entry points used for locally attached clients.
+  void local_subscribe(std::uint64_t id, const event::Filter& filter, sim::HostId client_host);
+  void local_unsubscribe(std::uint64_t id);
+  void local_publish(const event::Event& e);
+
+  const BrokerStats& stats() const { return stats_; }
+
+  /// Number of routing-table entries (for table-size scaling metrics).
+  std::size_t table_size() const { return table_.size(); }
+
+ private:
+  // An interface is either a neighbour broker or a locally attached
+  // client host; kClient entries cause client delivery messages.
+  struct Iface {
+    enum class Kind { kBroker, kClient } kind;
+    sim::HostId host;
+
+    auto operator<=>(const Iface&) const = default;
+  };
+
+  struct Entry {
+    event::Filter filter;
+    Iface source;
+  };
+
+  void handle_subscribe(std::uint64_t id, const event::Filter& filter, Iface source);
+  void handle_unsubscribe(std::uint64_t id, Iface source);
+  void handle_advertise(std::uint64_t id, const event::Filter& filter, Iface source);
+  void route_publish(const event::Event& e, std::optional<sim::HostId> arrival_broker);
+
+  /// In advertisement mode: may a subscription with `filter` flow to
+  /// `neighbour` (i.e. does an advertisement from that direction
+  /// overlap it)?  Always true when the mode is off.
+  bool advert_allows(sim::HostId neighbour, const event::Filter& filter) const;
+
+  /// True if a filter already forwarded to `neighbour` covers `filter`.
+  bool covered_at(sim::HostId neighbour, const event::Filter& filter,
+                  std::uint64_t ignore_id) const;
+
+  void send_subscribe(sim::HostId neighbour, std::uint64_t id, const event::Filter& filter);
+
+  sim::Network& net_;
+  sim::HostId host_;
+  bool advertisement_forwarding_ = false;
+  std::set<sim::HostId> neighbours_;
+  std::map<std::uint64_t, Entry> table_;
+  // Per neighbour: subscription ids we have forwarded to it.
+  std::map<sim::HostId, std::set<std::uint64_t>> forwarded_;
+  // Advertisements seen, by id (filter + the interface they came from).
+  std::map<std::uint64_t, Entry> adverts_;
+  BrokerStats stats_;
+};
+
+}  // namespace aa::pubsub

@@ -1,0 +1,54 @@
+// Wire messages of the pub/sub protocols.  Bodies travel as std::any in
+// simulator packets; wire_size() gives the byte count charged to the
+// network (see sim/network.hpp for the accounting model).
+#pragma once
+
+#include <cstdint>
+
+#include "event/event.hpp"
+#include "event/filter.hpp"
+
+namespace aa::pubsub {
+
+/// Protocol names registered with the simulated network.
+inline constexpr const char* kBrokerProto = "ps.broker";
+inline constexpr const char* kClientProto = "ps.client";
+
+struct SubscribeMsg {
+  std::uint64_t id = 0;
+  event::Filter filter;
+};
+
+/// Publisher's declaration of the events it will generate (§3: "Event
+/// producers advertise the events that they generate").  Flooded to all
+/// brokers; in advertisement-forwarding mode subscriptions propagate
+/// only toward overlapping advertisements.
+struct AdvertiseMsg {
+  std::uint64_t id = 0;
+  event::Filter filter;
+};
+
+struct UnsubscribeMsg {
+  std::uint64_t id = 0;
+};
+
+struct PublishMsg {
+  event::Event event;
+};
+
+/// Broker -> client delivery.
+struct DeliverMsg {
+  event::Event event;
+};
+
+inline std::size_t filter_wire_size(const event::Filter& f) {
+  return f.describe().size() + 16;
+}
+
+inline std::size_t subscribe_wire_size(const SubscribeMsg& m) {
+  return filter_wire_size(m.filter) + 8;
+}
+
+inline std::size_t publish_wire_size(const PublishMsg& m) { return m.event.wire_size(); }
+
+}  // namespace aa::pubsub

@@ -1,0 +1,121 @@
+#include "pubsub/mobility.hpp"
+
+namespace aa::pubsub {
+
+namespace {
+constexpr const char* kMobileProto = "ps.mobile";
+
+struct MobileDeliverMsg {
+  std::string mobile_id;
+  event::Event event;
+};
+}  // namespace
+
+MobilityService::MobilityService(sim::Network& net, EventService& underlying,
+                                 sim::HostId proxy_host, std::size_t capacity)
+    : net_(net), underlying_(underlying), proxy_host_(proxy_host), capacity_(capacity) {}
+
+MobilityService::~MobilityService() {
+  for (const auto& [host, registered] : handler_hosts_) {
+    if (registered) net_.unregister_handler(host, kMobileProto);
+  }
+}
+
+void MobilityService::register_mobile(const std::string& mobile_id, sim::HostId home_host) {
+  Mobile& m = mobiles_[mobile_id];
+  m.host = home_host;
+  m.connected = true;
+  if (!handler_hosts_[home_host]) {
+    handler_hosts_[home_host] = true;
+    net_.register_handler(home_host, kMobileProto,
+                          [this](const sim::Packet& p) { on_client_message(p); });
+  }
+}
+
+std::uint64_t MobilityService::subscribe(const std::string& mobile_id,
+                                         const event::Filter& filter,
+                                         EventService::Deliver deliver) {
+  Mobile& m = mobiles_.at(mobile_id);
+  const std::uint64_t id = next_id_++;
+  // The proxy host holds the real subscription, so it stays live while
+  // the mobile is disconnected.
+  const std::uint64_t proxy_sub = underlying_.subscribe(
+      proxy_host_, filter,
+      [this, mobile_id](const event::Event& e) { on_proxy_event(mobile_id, e); });
+  m.subs.push_back(Sub{id, proxy_sub, filter, std::move(deliver)});
+  return id;
+}
+
+void MobilityService::unsubscribe(const std::string& mobile_id, std::uint64_t id) {
+  Mobile& m = mobiles_.at(mobile_id);
+  for (const Sub& s : m.subs) {
+    if (s.id == id) underlying_.unsubscribe(proxy_host_, s.proxy_sub);
+  }
+  std::erase_if(m.subs, [&](const Sub& s) { return s.id == id; });
+}
+
+void MobilityService::disconnect(const std::string& mobile_id) {
+  mobiles_.at(mobile_id).connected = false;
+}
+
+void MobilityService::reconnect(const std::string& mobile_id, sim::HostId new_host) {
+  Mobile& m = mobiles_.at(mobile_id);
+  m.host = new_host;
+  m.connected = true;
+  if (!handler_hosts_[new_host]) {
+    handler_hosts_[new_host] = true;
+    net_.register_handler(new_host, kMobileProto,
+                          [this](const sim::Packet& p) { on_client_message(p); });
+  }
+  // Flush the buffer in arrival order.
+  while (!m.buffer.empty()) {
+    relay(m, mobile_id, m.buffer.front());
+    m.buffer.pop_front();
+  }
+}
+
+bool MobilityService::connected(const std::string& mobile_id) const {
+  auto it = mobiles_.find(mobile_id);
+  return it != mobiles_.end() && it->second.connected;
+}
+
+std::size_t MobilityService::buffered(const std::string& mobile_id) const {
+  auto it = mobiles_.find(mobile_id);
+  return it == mobiles_.end() ? 0 : it->second.buffer.size();
+}
+
+void MobilityService::on_proxy_event(const std::string& mobile_id, const event::Event& e) {
+  auto it = mobiles_.find(mobile_id);
+  if (it == mobiles_.end()) return;
+  Mobile& m = it->second;
+  if (m.connected) {
+    relay(m, mobile_id, e);
+    return;
+  }
+  if (m.buffer.size() >= capacity_) {
+    m.buffer.pop_front();
+    ++dropped_;
+  }
+  m.buffer.push_back(e);
+}
+
+void MobilityService::relay(const Mobile& m, const std::string& mobile_id,
+                            const event::Event& e) {
+  net_.send(proxy_host_, m.host, kMobileProto, MobileDeliverMsg{mobile_id, e},
+            e.wire_size() + mobile_id.size());
+}
+
+void MobilityService::on_client_message(const sim::Packet& packet) {
+  const auto* msg = sim::packet_body<MobileDeliverMsg>(packet);
+  if (msg == nullptr) return;
+  auto it = mobiles_.find(msg->mobile_id);
+  if (it == mobiles_.end()) return;
+  const Mobile& m = it->second;
+  // Stale relay (mobile moved on while the message was in flight).
+  if (m.host != packet.dst || !m.connected) return;
+  for (const Sub& s : m.subs) {
+    if (s.filter.matches(msg->event)) s.deliver(msg->event);
+  }
+}
+
+}  // namespace aa::pubsub

@@ -1,0 +1,77 @@
+// Mobility support in the Mobikit style (§3): "static proxies for
+// mobile entities, which subscribe on behalf of the mobile entity when
+// the mobile entity is disconnected from the pub/sub system."
+//
+// A MobilityService runs a proxy on a fixed host.  Mobile clients
+// subscribe through it; the proxy holds the real subscription in the
+// underlying event service, relays matching events to the client's
+// current host while connected, and buffers them during disconnection.
+// On reconnect — possibly at a different host, modelling user movement —
+// the buffer is flushed to the new location in publication order.
+#pragma once
+
+#include <deque>
+#include <map>
+
+#include "pubsub/event_service.hpp"
+#include "pubsub/messages.hpp"
+
+namespace aa::pubsub {
+
+class MobilityService {
+ public:
+  /// `capacity` bounds each mobile's buffer; oldest events are dropped
+  /// first on overflow (drops are counted).
+  MobilityService(sim::Network& net, EventService& underlying, sim::HostId proxy_host,
+                  std::size_t capacity = 1024);
+  ~MobilityService();
+
+  MobilityService(const MobilityService&) = delete;
+  MobilityService& operator=(const MobilityService&) = delete;
+
+  /// Registers a mobile entity currently at `home_host`.
+  void register_mobile(const std::string& mobile_id, sim::HostId home_host);
+
+  /// Subscribes on behalf of the mobile; delivery callback runs at the
+  /// mobile's *current* host whenever the relayed event arrives there.
+  std::uint64_t subscribe(const std::string& mobile_id, const event::Filter& filter,
+                          EventService::Deliver deliver);
+  void unsubscribe(const std::string& mobile_id, std::uint64_t id);
+
+  void disconnect(const std::string& mobile_id);
+  /// Reconnects, possibly at a new host; flushes buffered events there.
+  void reconnect(const std::string& mobile_id, sim::HostId new_host);
+
+  bool connected(const std::string& mobile_id) const;
+  std::size_t buffered(const std::string& mobile_id) const;
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  struct Sub {
+    std::uint64_t id;         // id exposed to the mobile
+    std::uint64_t proxy_sub;  // id in the underlying service
+    event::Filter filter;
+    EventService::Deliver deliver;
+  };
+  struct Mobile {
+    sim::HostId host = sim::kNoHost;
+    bool connected = true;
+    std::deque<event::Event> buffer;
+    std::vector<Sub> subs;
+  };
+
+  void on_proxy_event(const std::string& mobile_id, const event::Event& e);
+  void on_client_message(const sim::Packet& packet);
+  void relay(const Mobile& m, const std::string& mobile_id, const event::Event& e);
+
+  sim::Network& net_;
+  EventService& underlying_;
+  sim::HostId proxy_host_;
+  std::size_t capacity_;
+  std::map<std::string, Mobile> mobiles_;
+  std::map<sim::HostId, bool> handler_hosts_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace aa::pubsub

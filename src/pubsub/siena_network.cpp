@@ -1,0 +1,168 @@
+#include "pubsub/siena_network.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace aa::pubsub {
+
+SienaNetwork::SienaNetwork(sim::Network& net, std::vector<sim::HostId> broker_hosts)
+    : net_(net), broker_hosts_(std::move(broker_hosts)) {
+  for (sim::HostId h : broker_hosts_) {
+    auto broker = std::make_unique<Broker>(net_, h);
+    Broker* raw = broker.get();
+    net_.register_handler(h, kBrokerProto,
+                          [raw](const sim::Packet& p) { raw->on_message(p); });
+    brokers_.emplace(h, std::move(broker));
+  }
+}
+
+SienaNetwork::~SienaNetwork() {
+  for (const auto& [h, broker] : brokers_) {
+    net_.unregister_handler(h, kBrokerProto);
+  }
+  for (const auto& [h, state] : clients_) {
+    net_.unregister_handler(h, kClientProto);
+  }
+}
+
+Status SienaNetwork::connect(sim::HostId broker_a, sim::HostId broker_b) {
+  Broker* a = broker(broker_a);
+  Broker* b = broker(broker_b);
+  if (a == nullptr || b == nullptr) {
+    return Status(Code::kInvalidArgument, "not a broker host");
+  }
+  // Cycle check: is broker_b already reachable from broker_a?
+  std::vector<sim::HostId> stack{broker_a};
+  std::map<sim::HostId, bool> seen{{broker_a, true}};
+  while (!stack.empty()) {
+    const sim::HostId cur = stack.back();
+    stack.pop_back();
+    if (cur == broker_b) {
+      return Status(Code::kFailedPrecondition, "link would create an overlay cycle");
+    }
+    for (sim::HostId n : brokers_.at(cur)->neighbours()) {
+      if (!seen[n]) {
+        seen[n] = true;
+        stack.push_back(n);
+      }
+    }
+  }
+  a->add_neighbour(broker_b);
+  b->add_neighbour(broker_a);
+  return Status::ok();
+}
+
+void SienaNetwork::connect_tree(int fanout) {
+  for (std::size_t i = 1; i < broker_hosts_.size(); ++i) {
+    const std::size_t parent = (i - 1) / static_cast<std::size_t>(fanout);
+    (void)connect(broker_hosts_[parent], broker_hosts_[i]);
+  }
+}
+
+void SienaNetwork::attach_client(sim::HostId client_host, sim::HostId broker_host) {
+  ClientState& state = clients_[client_host];
+  state.access_broker = broker_host;
+  net_.register_handler(client_host, kClientProto, [this, client_host](const sim::Packet& p) {
+    on_client_message(client_host, p);
+  });
+}
+
+void SienaNetwork::attach_client_nearest(sim::HostId client_host) {
+  sim::HostId best = broker_hosts_.front();
+  SimDuration best_latency = net_.topology().latency(client_host, best);
+  for (sim::HostId b : broker_hosts_) {
+    const SimDuration l = net_.topology().latency(client_host, b);
+    if (l < best_latency) {
+      best = b;
+      best_latency = l;
+    }
+  }
+  attach_client(client_host, best);
+}
+
+SienaNetwork::ClientState& SienaNetwork::client_state(sim::HostId client_host) {
+  auto it = clients_.find(client_host);
+  if (it == clients_.end() || it->second.access_broker == sim::kNoHost) {
+    // Auto-attach to the nearest broker rather than failing: mirrors a
+    // real client library's lazy connect.
+    attach_client_nearest(client_host);
+    it = clients_.find(client_host);
+  }
+  return it->second;
+}
+
+std::uint64_t SienaNetwork::subscribe(sim::HostId client, const event::Filter& filter,
+                                      Deliver deliver) {
+  ClientState& state = client_state(client);
+  const std::uint64_t id = next_sub_id_++;
+  state.subs.push_back(ClientSub{id, filter, std::move(deliver)});
+  SubscribeMsg msg{id, filter};
+  const std::size_t size = subscribe_wire_size(msg);
+  net_.send(client, state.access_broker, kBrokerProto, std::move(msg), size);
+  return id;
+}
+
+void SienaNetwork::unsubscribe(sim::HostId client, std::uint64_t subscription_id) {
+  ClientState& state = client_state(client);
+  std::erase_if(state.subs, [&](const ClientSub& s) { return s.id == subscription_id; });
+  net_.send(client, state.access_broker, kBrokerProto, UnsubscribeMsg{subscription_id}, 16);
+}
+
+void SienaNetwork::publish(sim::HostId client, const event::Event& e) {
+  ClientState& state = client_state(client);
+  net_.send(client, state.access_broker, kBrokerProto, PublishMsg{e}, e.wire_size());
+}
+
+void SienaNetwork::set_advertisement_forwarding(bool on) {
+  for (const auto& [h, broker] : brokers_) broker->set_advertisement_forwarding(on);
+}
+
+void SienaNetwork::advertise(sim::HostId client, const event::Filter& filter) {
+  const std::uint64_t id = next_adv_id_++;
+  advertisements_.push_back(
+      event::Advertisement{id, "host-" + std::to_string(client), filter});
+  ClientState& state = client_state(client);
+  AdvertiseMsg msg{id, filter};
+  const std::size_t size = filter_wire_size(filter) + 8;
+  net_.send(client, state.access_broker, kBrokerProto, std::move(msg), size);
+}
+
+void SienaNetwork::on_client_message(sim::HostId client_host, const sim::Packet& packet) {
+  const auto* msg = sim::packet_body<DeliverMsg>(packet);
+  if (msg == nullptr) return;
+  auto it = clients_.find(client_host);
+  if (it == clients_.end()) return;
+  // One network delivery per client; dispatch locally to each matching
+  // subscription's callback.
+  for (const ClientSub& sub : it->second.subs) {
+    if (sub.filter.matches(msg->event)) sub.deliver(msg->event);
+  }
+}
+
+Broker* SienaNetwork::broker(sim::HostId host) {
+  auto it = brokers_.find(host);
+  return it == brokers_.end() ? nullptr : it->second.get();
+}
+
+BrokerStats SienaNetwork::total_broker_stats() const {
+  BrokerStats total;
+  for (const auto& [h, b] : brokers_) {
+    const BrokerStats& s = b->stats();
+    total.publications_routed += s.publications_routed;
+    total.deliveries += s.deliveries;
+    total.subscriptions_forwarded += s.subscriptions_forwarded;
+    total.subscriptions_suppressed += s.subscriptions_suppressed;
+    total.match_tests += s.match_tests;
+  }
+  return total;
+}
+
+std::uint64_t SienaNetwork::max_broker_load() const {
+  std::uint64_t max_load = 0;
+  for (const auto& [h, b] : brokers_) {
+    max_load = std::max(max_load, b->stats().publications_routed);
+  }
+  return max_load;
+}
+
+}  // namespace aa::pubsub

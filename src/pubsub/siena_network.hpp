@@ -1,0 +1,88 @@
+// The distributed event service: a network of content-based brokers
+// arranged in an acyclic overlay, with clients attached to access
+// brokers (§4.1 — "a general-purpose system such as Siena would be
+// ideal for this purpose ... it shows evidence of being globally
+// scalable").
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "pubsub/broker.hpp"
+#include "pubsub/event_service.hpp"
+
+namespace aa::pubsub {
+
+class SienaNetwork final : public EventService {
+ public:
+  /// Creates one broker on each of `broker_hosts`.  Clients may live on
+  /// any other host (or share a broker's host — they still talk to it
+  /// through the network, at loopback latency).
+  SienaNetwork(sim::Network& net, std::vector<sim::HostId> broker_hosts);
+  ~SienaNetwork() override;
+
+  SienaNetwork(const SienaNetwork&) = delete;
+  SienaNetwork& operator=(const SienaNetwork&) = delete;
+
+  /// Connects two brokers.  Rejects links that would create a cycle
+  /// (the routing scheme requires an acyclic overlay).
+  Status connect(sim::HostId broker_a, sim::HostId broker_b);
+
+  /// Builds a balanced k-ary tree over all brokers (in creation order).
+  void connect_tree(int fanout = 2);
+
+  /// Enables Siena's advertisement semantics on every broker: once on,
+  /// subscriptions propagate only toward overlapping advertisements, so
+  /// publishers must advertise() before their events can travel beyond
+  /// their access broker.  Enable before any subscribe/advertise calls.
+  void set_advertisement_forwarding(bool on);
+
+  /// Attaches a client to an access broker.  Must precede subscribe /
+  /// publish calls for that client.
+  void attach_client(sim::HostId client_host, sim::HostId broker_host);
+
+  /// Access broker chosen as the topologically nearest broker.
+  void attach_client_nearest(sim::HostId client_host);
+
+  // EventService:
+  std::uint64_t subscribe(sim::HostId client, const event::Filter& filter,
+                          Deliver deliver) override;
+  void unsubscribe(sim::HostId client, std::uint64_t subscription_id) override;
+  void publish(sim::HostId client, const event::Event& e) override;
+  void advertise(sim::HostId client, const event::Filter& filter) override;
+
+  Broker* broker(sim::HostId host);
+  const std::vector<sim::HostId>& broker_hosts() const { return broker_hosts_; }
+
+  /// Sum of broker stats across the overlay.
+  BrokerStats total_broker_stats() const;
+  /// Largest per-broker routed-publication count (hotspot measure).
+  std::uint64_t max_broker_load() const;
+
+  const std::vector<event::Advertisement>& advertisements() const { return advertisements_; }
+
+ private:
+  struct ClientSub {
+    std::uint64_t id;
+    event::Filter filter;
+    Deliver deliver;
+  };
+  struct ClientState {
+    sim::HostId access_broker = sim::kNoHost;
+    std::vector<ClientSub> subs;
+  };
+
+  void on_client_message(sim::HostId client_host, const sim::Packet& packet);
+  ClientState& client_state(sim::HostId client_host);
+
+  sim::Network& net_;
+  std::vector<sim::HostId> broker_hosts_;
+  std::map<sim::HostId, std::unique_ptr<Broker>> brokers_;
+  std::map<sim::HostId, ClientState> clients_;
+  std::vector<event::Advertisement> advertisements_;
+  std::uint64_t next_sub_id_ = 1;
+  std::uint64_t next_adv_id_ = 1;
+};
+
+}  // namespace aa::pubsub

@@ -1,0 +1,73 @@
+#include "sim/churn.hpp"
+
+#include <algorithm>
+
+namespace aa::sim {
+
+ChurnInjector::ChurnInjector(Network& net, Params params)
+    : net_(net), params_(params), rng_(params.seed) {}
+
+void ChurnInjector::start(std::vector<HostId> protected_hosts) {
+  protected_ = std::move(protected_hosts);
+  running_ = true;
+  if (params_.mean_departure_interval > 0) schedule_next_departure();
+}
+
+void ChurnInjector::stop() {
+  running_ = false;
+  if (pending_ != kInvalidTask) {
+    net_.scheduler().cancel(pending_);
+    pending_ = kInvalidTask;
+  }
+}
+
+void ChurnInjector::schedule_next_departure() {
+  const auto delay = static_cast<SimDuration>(
+      rng_.exponential(static_cast<double>(params_.mean_departure_interval)));
+  pending_ = net_.scheduler().after(delay, [this]() {
+    if (!running_) return;
+    auto live = net_.live_hosts();
+    std::erase_if(live, [this](HostId h) {
+      return std::find(protected_.begin(), protected_.end(), h) != protected_.end();
+    });
+    if (!live.empty()) {
+      const HostId victim = live[rng_.below(live.size())];
+      kill(victim, rng_.chance(params_.graceful_fraction));
+      if (params_.mean_downtime > 0) {
+        const auto downtime = static_cast<SimDuration>(
+            rng_.exponential(static_cast<double>(params_.mean_downtime)));
+        net_.scheduler().after(downtime, [this, victim]() {
+          if (running_ && !net_.host_up(victim)) revive(victim);
+        });
+      }
+    }
+    schedule_next_departure();
+  });
+}
+
+void ChurnInjector::kill(HostId host, bool graceful) {
+  if (!net_.host_up(host)) return;
+  ++departures_;
+  if (graceful) {
+    // Warning precedes the shutdown, giving subscribers a chance to act
+    // while the node can still answer.
+    notify(host, ChurnEvent::kGracefulLeave);
+    net_.set_host_up(host, false);
+  } else {
+    net_.set_host_up(host, false);
+    notify(host, ChurnEvent::kCrash);
+  }
+}
+
+void ChurnInjector::revive(HostId host) {
+  if (net_.host_up(host)) return;
+  ++joins_;
+  net_.set_host_up(host, true);
+  notify(host, ChurnEvent::kJoin);
+}
+
+void ChurnInjector::notify(HostId host, ChurnEvent e) {
+  for (const auto& obs : observers_) obs(host, e);
+}
+
+}  // namespace aa::sim

@@ -1,0 +1,68 @@
+// Churn injection: drives node departures and (re)arrivals.
+//
+// §4.4 of the paper: "Nodes may disappear from the network either
+// gracefully, in which case they will publish events warning of their
+// imminent withdrawal, or without warning".  The injector models both:
+// graceful departures fire the observer *before* the node goes down;
+// crashes fire it after.  Higher layers (overlay repair, the evolution
+// engine, self-healing storage) subscribe via the observer hooks.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/network.hpp"
+
+namespace aa::sim {
+
+enum class ChurnEvent { kGracefulLeave, kCrash, kJoin };
+
+class ChurnInjector {
+ public:
+  struct Params {
+    /// Mean time between departures across the whole population; 0
+    /// disables departures.
+    SimDuration mean_departure_interval = 0;
+    /// Fraction of departures that are graceful (vs. crashes).
+    double graceful_fraction = 0.5;
+    /// Mean downtime before a departed node rejoins; 0 = never rejoin.
+    SimDuration mean_downtime = 0;
+    std::uint64_t seed = 1;
+  };
+
+  using Observer = std::function<void(HostId, ChurnEvent)>;
+
+  ChurnInjector(Network& net, Params params);
+
+  /// Starts injecting; hosts in `protected_hosts` are never taken down
+  /// (e.g. the experiment's observation point).
+  void start(std::vector<HostId> protected_hosts = {});
+  void stop();
+
+  void add_observer(Observer obs) { observers_.push_back(std::move(obs)); }
+
+  /// Takes one specific host down immediately (for directed experiments).
+  void kill(HostId host, bool graceful);
+  /// Brings a host back immediately.
+  void revive(HostId host);
+
+  int departures() const { return departures_; }
+  int joins() const { return joins_; }
+
+ private:
+  void schedule_next_departure();
+  void notify(HostId host, ChurnEvent e);
+
+  Network& net_;
+  Params params_;
+  Rng rng_;
+  std::vector<HostId> protected_;
+  std::vector<Observer> observers_;
+  TaskId pending_ = kInvalidTask;
+  bool running_ = false;
+  int departures_ = 0;
+  int joins_ = 0;
+};
+
+}  // namespace aa::sim

@@ -1,0 +1,32 @@
+#include "sim/metrics.hpp"
+
+#include <cmath>
+#include <numeric>
+
+namespace aa::sim {
+
+double Histogram::sum() const {
+  return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+double Histogram::min() const {
+  ensure_sorted();
+  return values_.empty() ? 0.0 : values_.front();
+}
+
+double Histogram::max() const {
+  ensure_sorted();
+  return values_.empty() ? 0.0 : values_.back();
+}
+
+double Histogram::percentile(double p) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - std::floor(rank);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+}  // namespace aa::sim

@@ -1,0 +1,82 @@
+#include "sim/network.hpp"
+
+namespace aa::sim {
+
+Network::Network(Scheduler& sched, std::shared_ptr<const Topology> topo,
+                 double bandwidth_bytes_per_us)
+    : sched_(sched),
+      topo_(std::move(topo)),
+      bandwidth_bytes_per_us_(bandwidth_bytes_per_us),
+      up_(topo_->size(), true),
+      delivered_per_host_(topo_->size(), 0) {}
+
+void Network::register_handler(HostId host, const std::string& protocol, Handler handler) {
+  auto& slots = handlers_[protocol];
+  if (slots.size() < topo_->size()) slots.resize(topo_->size());
+  slots[host] = std::move(handler);
+}
+
+void Network::unregister_handler(HostId host, const std::string& protocol) {
+  auto it = handlers_.find(protocol);
+  if (it == handlers_.end()) return;
+  if (host < it->second.size()) it->second[host] = nullptr;
+}
+
+void Network::clear_handlers(HostId host) {
+  for (auto& [proto, slots] : handlers_) {
+    if (host < slots.size()) slots[host] = nullptr;
+  }
+}
+
+void Network::send(Packet packet) {
+  ++stats_.messages_sent;
+  stats_.bytes_sent += packet.wire_size;
+  if (packet.src >= up_.size() || packet.dst >= up_.size() || !up_[packet.src]) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  const SimDuration latency = topo_->latency(packet.src, packet.dst);
+  const SimDuration tx =
+      static_cast<SimDuration>(static_cast<double>(packet.wire_size) / bandwidth_bytes_per_us_);
+  // FIFO per link: arrival is after both this message's propagation +
+  // transmission and every earlier message on the same (src,dst) link.
+  SimTime& clear_at = link_clear_at_[{packet.src, packet.dst}];
+  const SimTime arrival = std::max(sched_.now() + latency, clear_at) + tx;
+  clear_at = arrival;
+  sched_.at(arrival, [this, p = std::move(packet)]() { deliver(p); });
+}
+
+void Network::deliver(const Packet& packet) {
+  if (!up_[packet.dst]) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  auto it = handlers_.find(packet.protocol);
+  if (it == handlers_.end() || packet.dst >= it->second.size() || !it->second[packet.dst]) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  ++stats_.messages_delivered;
+  ++delivered_per_host_[packet.dst];
+  it->second[packet.dst](packet);
+}
+
+void Network::set_host_up(HostId host, bool up) {
+  if (host < up_.size()) up_[host] = up;
+}
+
+bool Network::host_up(HostId host) const { return host < up_.size() && up_[host]; }
+
+std::vector<HostId> Network::live_hosts() const {
+  std::vector<HostId> out;
+  for (HostId h = 0; h < up_.size(); ++h) {
+    if (up_[h]) out.push_back(h);
+  }
+  return out;
+}
+
+std::uint64_t Network::delivered_to(HostId host) const {
+  return host < delivered_per_host_.size() ? delivered_per_host_[host] : 0;
+}
+
+}  // namespace aa::sim

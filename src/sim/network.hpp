@@ -1,0 +1,110 @@
+// Simulated message network.
+//
+// Hosts exchange typed packets; delivery is asynchronous with latency
+// drawn from the Topology plus a bandwidth-proportional serialisation
+// cost.  Hosts can be taken down and brought back (churn), and the
+// network keeps global traffic counters the benchmarks report.
+//
+// Packet bodies travel as std::any carrying protocol-specific structs;
+// `wire_size` declares the number of bytes charged to the network, so
+// traffic accounting matches what a real serialisation would cost
+// without paying encode/decode on every simulated hop.  (Serialisation
+// round-trips are exercised separately by the bytes/xml/bundle tests.)
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/topology.hpp"
+
+namespace aa::sim {
+
+struct Packet {
+  HostId src = kNoHost;
+  HostId dst = kNoHost;
+  std::string protocol;
+  std::any body;
+  std::size_t wire_size = 0;
+};
+
+/// Typed accessor; returns nullptr on protocol mix-ups rather than
+/// throwing, so a mis-registered handler shows up as a dropped message
+/// in the counters instead of a crash.
+template <typename T>
+const T* packet_body(const Packet& p) {
+  return std::any_cast<T>(&p.body);
+}
+
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;  // host down or no handler
+  std::uint64_t bytes_sent = 0;
+};
+
+class Network {
+ public:
+  Network(Scheduler& sched, std::shared_ptr<const Topology> topo,
+          double bandwidth_bytes_per_us = 100.0);
+
+  Scheduler& scheduler() { return sched_; }
+  const Topology& topology() const { return *topo_; }
+  std::size_t host_count() const { return topo_->size(); }
+
+  using Handler = std::function<void(const Packet&)>;
+
+  /// Registers the receive handler for (host, protocol).  Replaces any
+  /// previous handler for the pair.
+  void register_handler(HostId host, const std::string& protocol, Handler handler);
+  void unregister_handler(HostId host, const std::string& protocol);
+  /// Removes every handler a host registered (used when its software
+  /// stack is torn down on failure).
+  void clear_handlers(HostId host);
+
+  /// Sends asynchronously; delivery happens after latency(src,dst) plus
+  /// wire_size/bandwidth.  Messages in flight to a host that dies before
+  /// delivery are dropped, as on a real network.
+  void send(Packet packet);
+
+  /// Convenience: build and send a packet.
+  template <typename T>
+  void send(HostId src, HostId dst, const std::string& protocol, T body,
+            std::size_t wire_size) {
+    send(Packet{src, dst, protocol, std::any(std::move(body)), wire_size});
+  }
+
+  void set_host_up(HostId host, bool up);
+  bool host_up(HostId host) const;
+  std::vector<HostId> live_hosts() const;
+
+  const NetworkStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+  /// Per-host delivered-message counts (for load-balance metrics).
+  std::uint64_t delivered_to(HostId host) const;
+
+ private:
+  void deliver(const Packet& packet);
+
+  Scheduler& sched_;
+  std::shared_ptr<const Topology> topo_;
+  double bandwidth_bytes_per_us_;
+  // Per-(src,dst) link FIFO: the arrival time of the last message sent
+  // on the link.  Later sends arrive no earlier, so a small message can
+  // never overtake a large one on the same link (TCP-like ordering).
+  std::map<std::pair<HostId, HostId>, SimTime> link_clear_at_;
+  std::vector<bool> up_;
+  std::vector<std::uint64_t> delivered_per_host_;
+  std::unordered_map<std::string, std::vector<Handler>> handlers_;  // protocol -> per-host
+  NetworkStats stats_;
+};
+
+}  // namespace aa::sim

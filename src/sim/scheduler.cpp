@@ -1,0 +1,80 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace aa::sim {
+
+TaskId Scheduler::at(SimTime t, std::function<void()> fn) {
+  const TaskId id = next_id_++;
+  queue_.push(Entry{std::max(t, now_), seq_++, id, std::move(fn)});
+  return id;
+}
+
+TaskId Scheduler::after(SimDuration delay, std::function<void()> fn) {
+  return at(now_ + std::max<SimDuration>(delay, 0), std::move(fn));
+}
+
+TaskId Scheduler::every(SimDuration period, std::function<void()> fn) {
+  // The periodic task reuses one TaskId across firings so that a single
+  // cancel() stops the whole series.
+  const TaskId id = next_id_++;
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, id, period, fn = std::move(fn), tick]() {
+    if (cancelled_.contains(id)) {
+      cancelled_.erase(id);
+      return;
+    }
+    fn();
+    if (cancelled_.contains(id)) {
+      cancelled_.erase(id);
+      return;
+    }
+    queue_.push(Entry{now_ + period, seq_++, id, *tick});
+  };
+  queue_.push(Entry{now_ + period, seq_++, id, *tick});
+  return id;
+}
+
+void Scheduler::cancel(TaskId id) {
+  if (id != kInvalidTask) cancelled_.insert(id);
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    if (cancelled_.contains(e.id)) {
+      cancelled_.erase(e.id);
+      continue;
+    }
+    now_ = e.time;
+    ++executed_;
+    e.fn();
+    return true;
+  }
+  return false;
+}
+
+SimTime Scheduler::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+SimTime Scheduler::run_until(SimTime deadline) {
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (cancelled_.contains(top.id)) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.time > deadline) break;
+    step();
+  }
+  now_ = std::max(now_, deadline);
+  return now_;
+}
+
+}  // namespace aa::sim

@@ -1,0 +1,82 @@
+// Discrete-event scheduler: the single source of time for the whole
+// architecture.
+//
+// The paper targets a wide-area deployment; reproducing it on one
+// machine requires virtualising the network (DESIGN.md §2).  Every
+// asynchronous action — message delivery, sensor ticks, monitoring
+// sweeps, cache expiry — is an event on this scheduler's queue, executed
+// in deterministic (time, insertion) order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace aa::sim {
+
+/// Identifies a scheduled task so it can be cancelled.
+using TaskId = std::uint64_t;
+constexpr TaskId kInvalidTask = 0;
+
+class Scheduler {
+ public:
+  /// Current virtual time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `t` (clamped to now()).
+  TaskId at(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` from now.
+  TaskId after(SimDuration delay, std::function<void()> fn);
+
+  /// Schedules `fn` every `period`, starting after `period`.  The task
+  /// keeps rescheduling itself until cancelled.
+  TaskId every(SimDuration period, std::function<void()> fn);
+
+  /// Cancels a pending (or periodic) task.  Cancelling an already-run
+  /// one-shot task is a harmless no-op.
+  void cancel(TaskId id);
+
+  /// Runs events until the queue is empty.  Returns final time.
+  SimTime run();
+
+  /// Runs events with time <= deadline; leaves later events queued and
+  /// sets now() = deadline.
+  SimTime run_until(SimTime deadline);
+
+  /// Runs for `d` beyond current time.
+  SimTime run_for(SimDuration d) { return run_until(now_ + d); }
+
+  /// Executes a single event if one is pending; returns false when idle.
+  bool step();
+
+  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // tie-break: FIFO among equal times
+    TaskId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+  TaskId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<TaskId> cancelled_;
+};
+
+}  // namespace aa::sim

@@ -1,0 +1,234 @@
+#include "storage/erasure.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace aa::storage {
+
+namespace gf256 {
+namespace {
+// GF(2^8) with the Reed–Solomon polynomial x^8+x^4+x^3+x^2+1 (0x11D),
+// generator 2.  exp table doubled to avoid a mod in mul().
+struct Tables {
+  std::array<std::uint8_t, 512> exp{};
+  std::array<int, 256> log{};
+  Tables() {
+    int x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+      log[static_cast<std::size_t>(x)] = i;
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11D;
+    }
+    for (int i = 255; i < 512; ++i) {
+      exp[static_cast<std::size_t>(i)] = exp[static_cast<std::size_t>(i - 255)];
+    }
+  }
+};
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+}  // namespace
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[static_cast<std::size_t>(t.log[a] + t.log[b])];
+}
+
+std::uint8_t inv(std::uint8_t a) {
+  const Tables& t = tables();
+  return t.exp[static_cast<std::size_t>(255 - t.log[a])];
+}
+
+std::uint8_t div(std::uint8_t a, std::uint8_t b) { return mul(a, inv(b)); }
+
+std::uint8_t pow(std::uint8_t a, int n) {
+  if (n == 0) return 1;
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  const int e = (t.log[a] * n) % 255;
+  return t.exp[static_cast<std::size_t>(e < 0 ? e + 255 : e)];
+}
+}  // namespace gf256
+
+namespace {
+
+using Matrix = std::vector<std::vector<std::uint8_t>>;
+
+/// Gauss–Jordan inversion in GF(256); consumes `m`.  Returns false if
+/// singular (cannot happen for Vandermonde submatrices with distinct
+/// evaluation points, but decode guards anyway).
+bool invert_matrix(Matrix& m, Matrix& out) {
+  const std::size_t n = m.size();
+  out.assign(n, std::vector<std::uint8_t>(n, 0));
+  for (std::size_t i = 0; i < n; ++i) out[i][i] = 1;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Pivot selection.
+    std::size_t pivot = col;
+    while (pivot < n && m[pivot][col] == 0) ++pivot;
+    if (pivot == n) return false;
+    std::swap(m[pivot], m[col]);
+    std::swap(out[pivot], out[col]);
+
+    const std::uint8_t piv_inv = gf256::inv(m[col][col]);
+    for (std::size_t j = 0; j < n; ++j) {
+      m[col][j] = gf256::mul(m[col][j], piv_inv);
+      out[col][j] = gf256::mul(out[col][j], piv_inv);
+    }
+    for (std::size_t row = 0; row < n; ++row) {
+      if (row == col || m[row][col] == 0) continue;
+      const std::uint8_t factor = m[row][col];
+      for (std::size_t j = 0; j < n; ++j) {
+        m[row][j] = static_cast<std::uint8_t>(m[row][j] ^ gf256::mul(factor, m[col][j]));
+        out[row][j] = static_cast<std::uint8_t>(out[row][j] ^ gf256::mul(factor, out[col][j]));
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ErasureCoder::ErasureCoder(int data_fragments, int parity_fragments)
+    : k_(data_fragments), m_(parity_fragments) {
+  assert(k_ >= 1 && m_ >= 0 && k_ + m_ <= 255);
+  // Build the (k+m) x k Vandermonde matrix V[i][j] = (i+1)^j, then
+  // normalise so the top k rows become the identity (systematic form):
+  // rows' = V * inv(V_top).
+  Matrix vander(static_cast<std::size_t>(k_ + m_),
+                std::vector<std::uint8_t>(static_cast<std::size_t>(k_)));
+  for (int i = 0; i < k_ + m_; ++i) {
+    for (int j = 0; j < k_; ++j) {
+      vander[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          gf256::pow(static_cast<std::uint8_t>(i + 1), j);
+    }
+  }
+  Matrix top(vander.begin(), vander.begin() + k_);
+  Matrix top_inv;
+  const bool ok = invert_matrix(top, top_inv);
+  assert(ok);
+  (void)ok;
+
+  parity_rows_.assign(static_cast<std::size_t>(m_),
+                      std::vector<std::uint8_t>(static_cast<std::size_t>(k_), 0));
+  for (int p = 0; p < m_; ++p) {
+    for (int j = 0; j < k_; ++j) {
+      std::uint8_t acc = 0;
+      for (int t = 0; t < k_; ++t) {
+        acc = static_cast<std::uint8_t>(
+            acc ^ gf256::mul(vander[static_cast<std::size_t>(k_ + p)][static_cast<std::size_t>(t)],
+                             top_inv[static_cast<std::size_t>(t)][static_cast<std::size_t>(j)]));
+      }
+      parity_rows_[static_cast<std::size_t>(p)][static_cast<std::size_t>(j)] = acc;
+    }
+  }
+}
+
+std::vector<Fragment> ErasureCoder::encode(const Bytes& object) const {
+  const std::size_t shard_len = (object.size() + static_cast<std::size_t>(k_) - 1) /
+                                static_cast<std::size_t>(k_);
+  // Padded copy so every shard has equal length.
+  Bytes padded = object;
+  padded.resize(shard_len * static_cast<std::size_t>(k_), 0);
+
+  std::vector<Fragment> out;
+  out.reserve(static_cast<std::size_t>(k_ + m_));
+  auto header = [&](Fragment& f) {
+    BufWriter w;
+    w.u32(static_cast<std::uint32_t>(object.size()));
+    f.data = std::move(w).take();
+  };
+
+  // Systematic data fragments.
+  for (int i = 0; i < k_; ++i) {
+    Fragment f;
+    f.index = i;
+    header(f);
+    f.data.insert(f.data.end(), padded.begin() + static_cast<std::ptrdiff_t>(shard_len * i),
+                  padded.begin() + static_cast<std::ptrdiff_t>(shard_len * (i + 1)));
+    out.push_back(std::move(f));
+  }
+  // Parity fragments.
+  for (int p = 0; p < m_; ++p) {
+    Fragment f;
+    f.index = k_ + p;
+    header(f);
+    f.data.resize(4 + shard_len, 0);
+    for (int j = 0; j < k_; ++j) {
+      const std::uint8_t coeff = parity_rows_[static_cast<std::size_t>(p)][static_cast<std::size_t>(j)];
+      if (coeff == 0) continue;
+      const std::uint8_t* shard = padded.data() + shard_len * static_cast<std::size_t>(j);
+      for (std::size_t b = 0; b < shard_len; ++b) {
+        f.data[4 + b] = static_cast<std::uint8_t>(f.data[4 + b] ^ gf256::mul(coeff, shard[b]));
+      }
+    }
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+Result<Bytes> ErasureCoder::decode(const std::vector<Fragment>& fragments) const {
+  // Select k distinct usable fragments.
+  std::vector<const Fragment*> picked;
+  std::vector<bool> seen(static_cast<std::size_t>(k_ + m_), false);
+  for (const Fragment& f : fragments) {
+    if (f.index < 0 || f.index >= k_ + m_ || seen[static_cast<std::size_t>(f.index)]) continue;
+    if (f.data.size() < 4) continue;
+    seen[static_cast<std::size_t>(f.index)] = true;
+    picked.push_back(&f);
+    if (static_cast<int>(picked.size()) == k_) break;
+  }
+  if (static_cast<int>(picked.size()) < k_) {
+    return Status(Code::kExhausted, "need " + std::to_string(k_) + " fragments, have " +
+                                        std::to_string(picked.size()));
+  }
+  const std::size_t shard_len = picked[0]->data.size() - 4;
+  std::uint32_t object_len = 0;
+  {
+    BufReader r(picked[0]->data);
+    object_len = r.u32();
+  }
+  if (object_len > shard_len * static_cast<std::size_t>(k_)) {
+    return Status(Code::kCorrupt, "inconsistent fragment header");
+  }
+  for (const Fragment* f : picked) {
+    if (f->data.size() - 4 != shard_len) {
+      return Status(Code::kCorrupt, "fragment length mismatch");
+    }
+  }
+
+  // Build the k x k decode matrix: row per picked fragment.
+  Matrix mat(static_cast<std::size_t>(k_), std::vector<std::uint8_t>(static_cast<std::size_t>(k_), 0));
+  for (int r = 0; r < k_; ++r) {
+    const int idx = picked[static_cast<std::size_t>(r)]->index;
+    if (idx < k_) {
+      mat[static_cast<std::size_t>(r)][static_cast<std::size_t>(idx)] = 1;
+    } else {
+      mat[static_cast<std::size_t>(r)] = parity_rows_[static_cast<std::size_t>(idx - k_)];
+    }
+  }
+  Matrix inv;
+  if (!invert_matrix(mat, inv)) {
+    return Status(Code::kCorrupt, "singular decode matrix");
+  }
+
+  Bytes out(shard_len * static_cast<std::size_t>(k_), 0);
+  for (int shard = 0; shard < k_; ++shard) {
+    std::uint8_t* dst = out.data() + shard_len * static_cast<std::size_t>(shard);
+    for (int r = 0; r < k_; ++r) {
+      const std::uint8_t coeff = inv[static_cast<std::size_t>(shard)][static_cast<std::size_t>(r)];
+      if (coeff == 0) continue;
+      const std::uint8_t* src = picked[static_cast<std::size_t>(r)]->data.data() + 4;
+      for (std::size_t b = 0; b < shard_len; ++b) {
+        dst[b] = static_cast<std::uint8_t>(dst[b] ^ gf256::mul(coeff, src[b]));
+      }
+    }
+  }
+  out.resize(object_len);
+  return out;
+}
+
+}  // namespace aa::storage

@@ -1,0 +1,95 @@
+#include "storage/store_node.hpp"
+
+namespace aa::storage {
+
+void StoreNode::store_replica(const ObjectId& id, Bytes data) {
+  auto it = replicas_.find(id);
+  if (it != replicas_.end()) {
+    replica_bytes_ -= it->second.size();
+    it->second = std::move(data);
+    replica_bytes_ += it->second.size();
+    return;
+  }
+  replica_bytes_ += data.size();
+  replicas_.emplace(id, std::move(data));
+}
+
+const Bytes* StoreNode::replica(const ObjectId& id) const {
+  auto it = replicas_.find(id);
+  return it == replicas_.end() ? nullptr : &it->second;
+}
+
+bool StoreNode::drop_replica(const ObjectId& id) {
+  auto it = replicas_.find(id);
+  if (it == replicas_.end()) return false;
+  replica_bytes_ -= it->second.size();
+  replicas_.erase(it);
+  return true;
+}
+
+std::vector<ObjectId> StoreNode::replica_ids() const {
+  std::vector<ObjectId> out;
+  out.reserve(replicas_.size());
+  for (const auto& [id, data] : replicas_) out.push_back(id);
+  return out;
+}
+
+void StoreNode::store_fragment(const ObjectId& id, Fragment fragment) {
+  fragments_[id] = std::move(fragment);
+}
+
+const Fragment* StoreNode::fragment(const ObjectId& id) const {
+  auto it = fragments_.find(id);
+  return it == fragments_.end() ? nullptr : &it->second;
+}
+
+bool StoreNode::drop_fragment(const ObjectId& id) { return fragments_.erase(id) > 0; }
+
+std::vector<ObjectId> StoreNode::fragment_ids() const {
+  std::vector<ObjectId> out;
+  out.reserve(fragments_.size());
+  for (const auto& [id, f] : fragments_) out.push_back(id);
+  return out;
+}
+
+void StoreNode::evict_until_fits(std::size_t incoming) {
+  while (!lru_.empty() && cache_bytes_ + incoming > cache_capacity_) {
+    const ObjectId victim = lru_.back();
+    lru_.pop_back();
+    auto it = cache_.find(victim);
+    if (it != cache_.end()) {
+      cache_bytes_ -= it->second.data.size();
+      cache_.erase(it);
+      ++stats_.cache_evictions;
+    }
+  }
+}
+
+void StoreNode::cache_put(const ObjectId& id, const Bytes& data) {
+  if (data.size() > cache_capacity_) return;  // never cacheable
+  auto it = cache_.find(id);
+  if (it != cache_.end()) {
+    lru_.erase(it->second.lru_pos);
+    cache_bytes_ -= it->second.data.size();
+    cache_.erase(it);
+  }
+  evict_until_fits(data.size());
+  lru_.push_front(id);
+  cache_.emplace(id, CacheEntry{data, lru_.begin()});
+  cache_bytes_ += data.size();
+}
+
+const Bytes* StoreNode::cache_get(const ObjectId& id) {
+  auto it = cache_.find(id);
+  if (it == cache_.end()) {
+    ++stats_.cache_misses;
+    return nullptr;
+  }
+  ++stats_.cache_hits;
+  lru_.erase(it->second.lru_pos);
+  lru_.push_front(id);
+  it->second.lru_pos = lru_.begin();
+  return &it->second.data;
+}
+
+}  // namespace aa::storage

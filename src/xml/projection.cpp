@@ -1,0 +1,109 @@
+#include "xml/projection.hpp"
+
+#include <charconv>
+#include <cstdlib>
+
+namespace aa::xml {
+
+namespace {
+
+Result<ProjValue> convert_primitive(const std::string& raw, ProjType::Kind kind) {
+  switch (kind) {
+    case ProjType::Kind::kString:
+      return ProjValue(ProjValue::Storage(raw));
+    case ProjType::Kind::kInt: {
+      std::int64_t v = 0;
+      const auto [p, ec] = std::from_chars(raw.data(), raw.data() + raw.size(), v);
+      if (ec != std::errc() || p != raw.data() + raw.size()) {
+        return Status(Code::kInvalidArgument, "not an integer: '" + raw + "'");
+      }
+      return ProjValue(ProjValue::Storage(v));
+    }
+    case ProjType::Kind::kReal: {
+      // std::from_chars for double is unreliable across libstdc++
+      // versions for all formats; strtod with full-consumption check.
+      char* end = nullptr;
+      const double v = std::strtod(raw.c_str(), &end);
+      if (raw.empty() || end != raw.c_str() + raw.size()) {
+        return Status(Code::kInvalidArgument, "not a real: '" + raw + "'");
+      }
+      return ProjValue(ProjValue::Storage(v));
+    }
+    case ProjType::Kind::kBool: {
+      if (raw == "true" || raw == "1" || raw == "yes") return ProjValue(ProjValue::Storage(true));
+      if (raw == "false" || raw == "0" || raw == "no") return ProjValue(ProjValue::Storage(false));
+      return Status(Code::kInvalidArgument, "not a bool: '" + raw + "'");
+    }
+    default:
+      return Status(Code::kInternal, "not a primitive kind");
+  }
+}
+
+bool is_primitive(ProjType::Kind k) {
+  return k == ProjType::Kind::kString || k == ProjType::Kind::kInt ||
+         k == ProjType::Kind::kReal || k == ProjType::Kind::kBool;
+}
+
+}  // namespace
+
+Result<ProjValue> project(const Element& element, const ProjType& type) {
+  switch (type.kind()) {
+    case ProjType::Kind::kString:
+    case ProjType::Kind::kInt:
+    case ProjType::Kind::kReal:
+    case ProjType::Kind::kBool:
+      return convert_primitive(element.text(), type.kind());
+
+    case ProjType::Kind::kRecord: {
+      ProjValue::Record out;
+      for (const auto& f : type.fields()) {
+        // Attributes satisfy primitive fields; elements satisfy any kind.
+        if (is_primitive(f.type->kind())) {
+          if (const auto attr = element.attribute(f.name)) {
+            auto v = convert_primitive(*attr, f.type->kind());
+            if (!v.is_ok()) {
+              return Status(v.status().code(), "field '" + f.name + "': " + v.status().message());
+            }
+            out.emplace(f.name, std::move(v).value());
+            continue;
+          }
+        }
+        const Element* kid = element.child(f.name);
+        if (kid == nullptr) {
+          if (f.required) {
+            return Status(Code::kNotFound,
+                          "required field '" + f.name + "' missing in <" + element.name() + ">");
+          }
+          continue;
+        }
+        auto v = project(*kid, *f.type);
+        if (!v.is_ok()) {
+          return Status(v.status().code(), "field '" + f.name + "': " + v.status().message());
+        }
+        out.emplace(f.name, std::move(v).value());
+      }
+      return ProjValue(ProjValue::Storage(std::move(out)));
+    }
+
+    case ProjType::Kind::kList: {
+      ProjValue::List out;
+      for (const Element* kid : element.children_named(type.item_name())) {
+        auto v = project(*kid, type.item_type());
+        if (!v.is_ok()) {
+          return Status(v.status().code(),
+                        "list item '" + type.item_name() + "': " + v.status().message());
+        }
+        out.push_back(std::move(v).value());
+      }
+      if (out.size() < type.min_items()) {
+        return Status(Code::kNotFound, "list '" + type.item_name() + "' has " +
+                                           std::to_string(out.size()) + " items, needs " +
+                                           std::to_string(type.min_items()));
+      }
+      return ProjValue(ProjValue::Storage(std::move(out)));
+    }
+  }
+  return Status(Code::kInternal, "unhandled kind");
+}
+
+}  // namespace aa::xml

@@ -1,0 +1,128 @@
+// Type projection: binding program-side types to XML data (§3).
+//
+// The paper argues for *type projection* over type generation: "the type
+// is taken from the program context and matched against the data",
+// because it "handles partial data model specifications ... where the
+// overall structure of the data is not tightly specified, yet it
+// contains structured 'islands' whose structure is known a priori"
+// (after Simeoni/Connor et al. [18,19]).
+//
+// A ProjType describes the island the program cares about; project()
+// matches it against an element, ignoring any attributes and child
+// elements the type does not mention, and yields a ProjValue — a typed
+// record tree the program can consume without touching XML again.
+// Matchlets use this to bind to event payloads whose full schema is
+// unknown and evolving (§5: "Matchlets use type projection mechanisms
+// for binding to the XML data contained within the events").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.hpp"
+#include "xml/xml.hpp"
+
+namespace aa::xml {
+
+/// Structural type used for projection.
+class ProjType {
+ public:
+  enum class Kind { kString, kInt, kReal, kBool, kRecord, kList };
+
+  struct Field {
+    std::string name;
+    std::shared_ptr<const ProjType> type;
+    bool required = true;
+  };
+
+  static ProjType string() { return ProjType(Kind::kString); }
+  static ProjType integer() { return ProjType(Kind::kInt); }
+  static ProjType real() { return ProjType(Kind::kReal); }
+  static ProjType boolean() { return ProjType(Kind::kBool); }
+
+  /// Record over named fields.  Field values are looked up first among
+  /// the element's attributes (primitives only), then among child
+  /// elements.  Unmentioned content is ignored — this is what makes the
+  /// specification *partial*.
+  static ProjType record(std::vector<Field> fields) {
+    ProjType t(Kind::kRecord);
+    t.fields_ = std::move(fields);
+    return t;
+  }
+
+  /// Homogeneous list: collects every child element named `item_name`.
+  static ProjType list(std::string item_name, ProjType item_type, std::size_t min_items = 0) {
+    ProjType t(Kind::kList);
+    t.item_name_ = std::move(item_name);
+    t.item_type_ = std::make_shared<ProjType>(std::move(item_type));
+    t.min_items_ = min_items;
+    return t;
+  }
+
+  /// Convenience for building a Field.
+  static Field field(std::string name, ProjType type, bool required = true) {
+    return Field{std::move(name), std::make_shared<ProjType>(std::move(type)), required};
+  }
+
+  Kind kind() const { return kind_; }
+  const std::vector<Field>& fields() const { return fields_; }
+  const std::string& item_name() const { return item_name_; }
+  const ProjType& item_type() const { return *item_type_; }
+  std::size_t min_items() const { return min_items_; }
+
+ private:
+  explicit ProjType(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::vector<Field> fields_;
+  std::string item_name_;
+  std::shared_ptr<const ProjType> item_type_;
+  std::size_t min_items_ = 0;
+};
+
+/// The typed value produced by a successful projection.
+class ProjValue {
+ public:
+  using Record = std::map<std::string, ProjValue>;
+  using List = std::vector<ProjValue>;
+  using Storage = std::variant<std::string, std::int64_t, double, bool, Record, List>;
+
+  ProjValue() : v_(std::string()) {}
+  explicit ProjValue(Storage v) : v_(std::move(v)) {}
+
+  const std::string& str() const { return std::get<std::string>(v_); }
+  std::int64_t integer() const { return std::get<std::int64_t>(v_); }
+  double real() const { return std::get<double>(v_); }
+  bool boolean() const { return std::get<bool>(v_); }
+  const Record& record() const { return std::get<Record>(v_); }
+  const List& list() const { return std::get<List>(v_); }
+
+  bool has_field(const std::string& name) const {
+    const auto* r = std::get_if<Record>(&v_);
+    return r != nullptr && r->contains(name);
+  }
+  /// Precondition: has_field(name).
+  const ProjValue& field(const std::string& name) const { return record().at(name); }
+
+  // Typed field shortcuts (precondition: field exists and has the type).
+  const std::string& str(const std::string& name) const { return field(name).str(); }
+  std::int64_t integer(const std::string& name) const { return field(name).integer(); }
+  double real(const std::string& name) const { return field(name).real(); }
+  bool boolean(const std::string& name) const { return field(name).boolean(); }
+
+  const Storage& storage() const { return v_; }
+
+ private:
+  Storage v_;
+};
+
+/// Projects `type` onto `element`.  Fails with kNotFound when a required
+/// field has no corresponding data and with kInvalidArgument when data
+/// is present but unconvertible (e.g. "abc" for an Int field).
+Result<ProjValue> project(const Element& element, const ProjType& type);
+
+}  // namespace aa::xml

@@ -1,0 +1,172 @@
+// Tests for the declarative notations of §4.9: pipeline blueprints
+// (whole pipelines as XML, deployed as bundle sets) and the XML form of
+// placement constraints.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "deploy/constraints.hpp"
+#include "pipeline/blueprint.hpp"
+#include "pipeline/components.hpp"
+#include "pipeline/installers.hpp"
+
+namespace aa {
+namespace {
+
+using pipeline::Blueprint;
+using pipeline::ComponentRef;
+
+const char* kWeatherPath = R"(
+<pipeline name="weather-path">
+  <component name="roof" host="3" type="pipe.sensor.temperature">
+    <config period_ms="60000" sensor_id="w1" base="25" amplitude="2"/>
+  </component>
+  <component name="hot" host="3" type="pipe.filter">
+    <config filter="celsius &gt; 15"/>
+  </component>
+  <component name="batch" host="5" type="pipe.buffer">
+    <config count="2" period_ms="300000"/>
+  </component>
+  <link from="roof" to="hot"/>
+  <link from="hot" to="batch"/>
+  <link from="batch" to-host="6" to-component="collector"/>
+</pipeline>)";
+
+TEST(Blueprint, ParsesComponentsAndLinks) {
+  auto bp = Blueprint::parse(kWeatherPath);
+  ASSERT_TRUE(bp.is_ok()) << bp.status().to_string();
+  EXPECT_EQ(bp.value().name(), "weather-path");
+  ASSERT_EQ(bp.value().components().size(), 3u);
+  EXPECT_EQ(bp.value().components()[0].name, "roof");
+  EXPECT_EQ(bp.value().components()[2].host, 5u);
+  ASSERT_EQ(bp.value().links().size(), 3u);
+  EXPECT_EQ(bp.value().links()[1].to, (ComponentRef{5, "batch"}));
+  EXPECT_EQ(bp.value().links()[2].to, (ComponentRef{6, "collector"}));
+}
+
+TEST(Blueprint, RejectsMalformed) {
+  EXPECT_FALSE(Blueprint::parse("<pipeline/>").is_ok());  // no name / components
+  EXPECT_FALSE(Blueprint::parse("<pipeline name=\"x\"/>").is_ok());
+  EXPECT_FALSE(Blueprint::parse(
+                   R"(<pipeline name="x"><component name="a" type="t" host="1"/>
+                      <link from="ghost" to="a"/></pipeline>)")
+                   .is_ok());
+  EXPECT_FALSE(Blueprint::parse(
+                   R"(<pipeline name="x"><component name="a" type="t" host="1"/>
+                      <component name="a" type="t" host="2"/></pipeline>)")
+                   .is_ok());  // duplicate names
+  EXPECT_FALSE(Blueprint::parse(
+                   R"(<pipeline name="x"><component name="a" type="t" host="1"/>
+                      <link from="a"/></pipeline>)")
+                   .is_ok());  // link without target
+}
+
+TEST(Blueprint, CompileEmbedsLinksAsConnects) {
+  auto bp = Blueprint::parse(kWeatherPath);
+  ASSERT_TRUE(bp.is_ok());
+  const auto bundles = bp.value().compile("run.pipeline");
+  ASSERT_EQ(bundles.size(), 3u);
+  // The "hot" bundle connects to batch@5.
+  const auto& hot = bundles[1].second;
+  EXPECT_EQ(hot.component_type(), "pipe.filter");
+  const auto connects = hot.config().children_named("connect");
+  ASSERT_EQ(connects.size(), 1u);
+  EXPECT_EQ(connects[0]->attribute("host").value(), "5");
+  EXPECT_EQ(connects[0]->attribute("component").value(), "batch");
+  EXPECT_EQ(hot.required_capabilities(), std::vector<std::string>{"run.pipeline"});
+}
+
+TEST(Blueprint, DeploysEndToEnd) {
+  sim::Scheduler sched;
+  auto topo = std::make_shared<sim::UniformTopology>(8, duration::millis(5));
+  sim::Network net(sched, topo);
+  pipeline::PipelineNetwork pipes(net);
+  bundle::ThinServerRuntime runtime(net, "secret");
+  bundle::BundleDeployer deployer(net, runtime);
+  pipeline::register_pipeline_installers(runtime, pipes, nullptr);
+  for (sim::HostId h = 0; h < 8; ++h) runtime.start_server(h, {"run.pipeline"});
+
+  // External collector the blueprint links to.
+  std::vector<event::Event> got;
+  pipes.add(6, std::make_unique<pipeline::SinkComponent>(
+                   "collector", [&](const event::Event& e) { got.push_back(e); }));
+
+  auto bp = Blueprint::parse(kWeatherPath);
+  ASSERT_TRUE(bp.is_ok());
+  int installed = -1, total = -1;
+  bp.value().deploy(deployer, /*from=*/0, [&](int i, int t) {
+    installed = i;
+    total = t;
+  });
+  sched.run_for(duration::seconds(2));
+  EXPECT_EQ(installed, 3);
+  EXPECT_EQ(total, 3);
+  ASSERT_TRUE(pipes.exists(ComponentRef{3, "roof"}));
+  ASSERT_TRUE(pipes.exists(ComponentRef{3, "hot"}));
+  ASSERT_TRUE(pipes.exists(ComponentRef{5, "batch"}));
+
+  // The sensor autostarts; warm readings flow through the whole path.
+  sched.run_for(duration::minutes(10));
+  EXPECT_GE(got.size(), 2u);  // buffer flushes pairs of matching readings
+  for (const auto& e : got) {
+    EXPECT_GT(e.get_real("celsius").value_or(-100), 15.0);
+  }
+}
+
+TEST(Blueprint, PartialFailureReported) {
+  sim::Scheduler sched;
+  auto topo = std::make_shared<sim::UniformTopology>(8, duration::millis(5));
+  sim::Network net(sched, topo);
+  pipeline::PipelineNetwork pipes(net);
+  bundle::ThinServerRuntime runtime(net, "secret");
+  bundle::BundleDeployer deployer(net, runtime);
+  pipeline::register_pipeline_installers(runtime, pipes, nullptr);
+  for (sim::HostId h = 0; h < 8; ++h) runtime.start_server(h, {"run.pipeline"});
+  runtime.revoke_capability(5, "run.pipeline");  // batch@5 will be refused
+
+  auto bp = Blueprint::parse(kWeatherPath);
+  int installed = -1, total = -1;
+  bp.value().deploy(deployer, 0, [&](int i, int t) {
+    installed = i;
+    total = t;
+  });
+  sched.run_for(duration::seconds(2));
+  EXPECT_EQ(installed, 2);
+  EXPECT_EQ(total, 3);
+}
+
+// --- Constraint XML ---
+
+TEST(ConstraintXml, RoundTrip) {
+  deploy::PlacementConstraint c;
+  c.id = "replication-r1";
+  c.kind = "replication";
+  c.min_instances = 5;
+  c.region = "r1";
+  c.required_capabilities = {"run.storelet", "run.pipeline"};
+  xml::Element config("config");
+  config.set_attribute("filter", "type = \"x\"");
+  c.prototype = bundle::CodeBundle("storelet", "pipe.filter", config);
+
+  auto back = deploy::PlacementConstraint::parse(c.to_xml_string());
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(back.value().id, c.id);
+  EXPECT_EQ(back.value().kind, c.kind);
+  EXPECT_EQ(back.value().min_instances, 5);
+  EXPECT_EQ(back.value().region, "r1");
+  EXPECT_EQ(back.value().required_capabilities, c.required_capabilities);
+  EXPECT_EQ(back.value().prototype.id(), c.prototype.id());
+}
+
+TEST(ConstraintXml, RejectsMalformed) {
+  EXPECT_FALSE(deploy::PlacementConstraint::parse("<constraint/>").is_ok());
+  EXPECT_FALSE(deploy::PlacementConstraint::parse(
+                   "<constraint id=\"x\" min=\"0\"><bundle name=\"b\" component=\"c\"/>"
+                   "</constraint>")
+                   .is_ok());
+  EXPECT_FALSE(
+      deploy::PlacementConstraint::parse("<constraint id=\"x\"/>").is_ok());  // no bundle
+}
+
+}  // namespace
+}  // namespace aa

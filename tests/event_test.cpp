@@ -1,0 +1,323 @@
+// Tests for the event model: attribute values, XML encoding, filters,
+// the covering relation (property-tested for soundness), overlap, and
+// the subscription-language parser.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "event/event.hpp"
+#include "event/filter.hpp"
+#include "event/filter_parser.hpp"
+
+namespace aa::event {
+namespace {
+
+// --- AttrValue ---
+
+TEST(AttrValue, TypesAndAccessors) {
+  EXPECT_TRUE(AttrValue("s").is_string());
+  EXPECT_TRUE(AttrValue(3).is_int());
+  EXPECT_TRUE(AttrValue(3.5).is_real());
+  EXPECT_TRUE(AttrValue(true).is_bool());
+  EXPECT_TRUE(AttrValue(3).is_numeric());
+  EXPECT_DOUBLE_EQ(AttrValue(3).as_real(), 3.0);
+}
+
+TEST(AttrValue, TextRoundTrip) {
+  for (const AttrValue v :
+       {AttrValue("hello"), AttrValue(-42), AttrValue(3.25), AttrValue(true)}) {
+    auto back = AttrValue::from_text(v.type(), v.to_text());
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(back.value(), v);
+  }
+}
+
+TEST(AttrValue, FromTextRejectsGarbage) {
+  EXPECT_FALSE(AttrValue::from_text(ValueType::kInt, "12x").is_ok());
+  EXPECT_FALSE(AttrValue::from_text(ValueType::kReal, "").is_ok());
+  EXPECT_FALSE(AttrValue::from_text(ValueType::kBool, "maybe").is_ok());
+}
+
+TEST(AttrValue, CompareAcrossNumericTypes) {
+  EXPECT_EQ(AttrValue(3).compare(AttrValue(3.0)).value(), 0);
+  EXPECT_EQ(AttrValue(2).compare(AttrValue(2.5)).value(), -1);
+  EXPECT_FALSE(AttrValue(3).compare(AttrValue("3")).has_value());
+}
+
+// --- Event ---
+
+TEST(Event, TypedAccessors) {
+  Event e("temperature");
+  e.set("celsius", 21.5).set("sensor", "s1").set_time(12345);
+  EXPECT_EQ(e.type(), "temperature");
+  EXPECT_DOUBLE_EQ(e.get_real("celsius").value(), 21.5);
+  EXPECT_EQ(e.get_string("sensor").value(), "s1");
+  EXPECT_EQ(e.time(), 12345);
+  EXPECT_FALSE(e.get_int("celsius").has_value());  // real, not int
+  EXPECT_FALSE(e.get_real("sensor").has_value());
+}
+
+TEST(Event, XmlRoundTrip) {
+  Event e("user-location");
+  e.set("user", "bob").set("lat", 56.3397).set("lon", -2.80753).set("indoors", false).set(
+      "floor", 2);
+  auto back = Event::parse(e.to_xml_string());
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(back.value(), e);
+}
+
+TEST(Event, FromXmlRejectsWrongRoot) {
+  EXPECT_FALSE(Event::parse("<notevent/>").is_ok());
+}
+
+TEST(Event, FromXmlRejectsBadAttr) {
+  EXPECT_FALSE(Event::parse(R"(<event><attr name="x" type="int" value="nope"/></event>)").is_ok());
+  EXPECT_FALSE(Event::parse(R"(<event><attr name="x" type="widget" value="1"/></event>)").is_ok());
+  EXPECT_FALSE(Event::parse(R"(<event><attr name="x"/></event>)").is_ok());
+}
+
+TEST(Event, WireSizePositiveAndGrows) {
+  Event small("t");
+  Event big("t");
+  for (int i = 0; i < 20; ++i) big.set("attr" + std::to_string(i), i);
+  EXPECT_GT(small.wire_size(), 0u);
+  EXPECT_GT(big.wire_size(), small.wire_size());
+}
+
+// --- Filter matching ---
+
+Event sample_event() {
+  Event e("user-location");
+  e.set("user", "bob").set("street", "North Street").set("celsius", 20.0).set("speed", 3);
+  return e;
+}
+
+TEST(Filter, EmptyMatchesEverything) {
+  EXPECT_TRUE(Filter().matches(sample_event()));
+}
+
+TEST(Filter, ConjunctionSemantics) {
+  Filter f;
+  f.where("user", Op::kEq, "bob").where("celsius", Op::kGt, 15.0);
+  EXPECT_TRUE(f.matches(sample_event()));
+  f.where("celsius", Op::kGt, 25.0);
+  EXPECT_FALSE(f.matches(sample_event()));
+}
+
+TEST(Filter, MissingAttributeNeverMatches) {
+  Filter f;
+  f.where("ghost", Op::kExists);
+  EXPECT_FALSE(f.matches(sample_event()));
+}
+
+TEST(Filter, StringOps) {
+  const Event e = sample_event();
+  EXPECT_TRUE(Filter().where("street", Op::kPrefix, "North").matches(e));
+  EXPECT_TRUE(Filter().where("street", Op::kSuffix, "Street").matches(e));
+  EXPECT_TRUE(Filter().where("street", Op::kSubstring, "th St").matches(e));
+  EXPECT_FALSE(Filter().where("street", Op::kPrefix, "South").matches(e));
+}
+
+TEST(Filter, NumericWideningInComparisons) {
+  const Event e = sample_event();  // speed is int 3
+  EXPECT_TRUE(Filter().where("speed", Op::kLt, 3.5).matches(e));
+  EXPECT_TRUE(Filter().where("celsius", Op::kGe, 20).matches(e));
+}
+
+TEST(Filter, TypeMismatchNeverMatches) {
+  const Event e = sample_event();
+  EXPECT_FALSE(Filter().where("user", Op::kGt, 5).matches(e));
+  EXPECT_FALSE(Filter().where("user", Op::kNe, 5).matches(e));  // incomparable
+}
+
+// --- Covering: directed cases ---
+
+TEST(Covering, EmptyFilterCoversAll) {
+  Filter any;
+  Filter narrow;
+  narrow.where("a", Op::kEq, 1);
+  EXPECT_TRUE(any.covers(narrow));
+  EXPECT_FALSE(narrow.covers(any));
+}
+
+TEST(Covering, WiderRangeCoversNarrower) {
+  Filter wide, narrow;
+  wide.where("t", Op::kGt, 10.0);
+  narrow.where("t", Op::kGt, 20.0);
+  EXPECT_TRUE(wide.covers(narrow));
+  EXPECT_FALSE(narrow.covers(wide));
+}
+
+TEST(Covering, EqualityCoveredByRange) {
+  Filter range, point;
+  range.where("t", Op::kGe, 10.0);
+  point.where("t", Op::kEq, 15.0);
+  EXPECT_TRUE(range.covers(point));
+  EXPECT_FALSE(point.covers(range));
+}
+
+TEST(Covering, PrefixLattice) {
+  Filter shorter, longer;
+  shorter.where("s", Op::kPrefix, "ab");
+  longer.where("s", Op::kPrefix, "abc");
+  EXPECT_TRUE(shorter.covers(longer));
+  EXPECT_FALSE(longer.covers(shorter));
+}
+
+TEST(Covering, ExistsCoversEverythingOnAttribute) {
+  Filter exists, eq;
+  exists.where("a", Op::kExists);
+  eq.where("a", Op::kEq, "x");
+  EXPECT_TRUE(exists.covers(eq));
+  EXPECT_FALSE(eq.covers(exists));
+}
+
+TEST(Covering, ExtraConstraintsMakeNarrower) {
+  Filter one, two;
+  one.where("a", Op::kGt, 0);
+  two.where("a", Op::kGt, 5).where("b", Op::kEq, "x");
+  EXPECT_TRUE(one.covers(two));
+  EXPECT_FALSE(two.covers(one));
+}
+
+// --- Covering: soundness property ---
+// If F1.covers(F2) then every event matching F2 must match F1.
+// Randomised over a small attribute/value universe so matches happen.
+
+AttrValue random_value(Rng& rng) {
+  switch (rng.below(4)) {
+    case 0: return AttrValue(static_cast<std::int64_t>(rng.range(0, 9)));
+    case 1: return AttrValue(static_cast<double>(rng.range(0, 9)) / 2.0);
+    case 2: return AttrValue(std::string(1, static_cast<char>('a' + rng.below(4))) +
+                             std::string(1, static_cast<char>('a' + rng.below(4))));
+    default: return AttrValue(rng.chance(0.5));
+  }
+}
+
+Filter random_filter(Rng& rng) {
+  static const Op kOps[] = {Op::kEq, Op::kNe, Op::kLt, Op::kLe, Op::kGt,
+                            Op::kGe, Op::kPrefix, Op::kSuffix, Op::kSubstring, Op::kExists};
+  Filter f;
+  const int n = 1 + static_cast<int>(rng.below(3));
+  for (int i = 0; i < n; ++i) {
+    f.where(std::string(1, static_cast<char>('p' + rng.below(3))), kOps[rng.below(10)],
+            random_value(rng));
+  }
+  return f;
+}
+
+Event random_event(Rng& rng) {
+  Event e;
+  const int n = static_cast<int>(rng.below(5));
+  for (int i = 0; i < n; ++i) {
+    e.set(std::string(1, static_cast<char>('p' + rng.below(3))), random_value(rng));
+  }
+  return e;
+}
+
+class CoveringSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoveringSoundness, CoversImpliesSupersetOfMatches) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 13);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Filter f1 = random_filter(rng);
+    const Filter f2 = random_filter(rng);
+    if (!f1.covers(f2)) continue;
+    for (int k = 0; k < 50; ++k) {
+      const Event e = random_event(rng);
+      if (f2.matches(e)) {
+        EXPECT_TRUE(f1.matches(e))
+            << "violation: [" << f1.describe() << "] claims to cover [" << f2.describe()
+            << "] but missed " << e.describe();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, CoveringSoundness, ::testing::Range(0, 10));
+
+class OverlapSoundness : public ::testing::TestWithParam<int> {};
+
+// overlaps() is conservative: it may say true when filters are disjoint,
+// but must never say false when a common event exists.
+TEST_P(OverlapSoundness, JointMatchImpliesOverlap) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 1553 + 7);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Filter f1 = random_filter(rng);
+    const Filter f2 = random_filter(rng);
+    const Event e = random_event(rng);
+    if (f1.matches(e) && f2.matches(e)) {
+      EXPECT_TRUE(f1.overlaps(f2)) << "[" << f1.describe() << "] vs [" << f2.describe()
+                                   << "] share " << e.describe();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, OverlapSoundness, ::testing::Range(0, 10));
+
+TEST(Overlap, ProvablyDisjointDetected) {
+  Filter cold, hot;
+  cold.where("t", Op::kLt, 0.0);
+  hot.where("t", Op::kGt, 30.0);
+  EXPECT_FALSE(cold.overlaps(hot));
+
+  Filter pa, pb;
+  pa.where("s", Op::kPrefix, "aa");
+  pb.where("s", Op::kPrefix, "bb");
+  EXPECT_FALSE(pa.overlaps(pb));
+
+  Filter eq1, eq2;
+  eq1.where("x", Op::kEq, 1);
+  eq2.where("x", Op::kEq, 2);
+  EXPECT_FALSE(eq1.overlaps(eq2));
+}
+
+// --- Parser ---
+
+TEST(FilterParser, FullLanguage) {
+  auto f = parse_filter(
+      R"(type = "temperature" and celsius > 20 and street prefix "North" and user exists)");
+  ASSERT_TRUE(f.is_ok()) << f.status().to_string();
+  ASSERT_EQ(f.value().constraints().size(), 4u);
+  Event e("temperature");
+  e.set("celsius", 25.0).set("street", "North Street").set("user", "bob");
+  EXPECT_TRUE(f.value().matches(e));
+  e.set("celsius", 15.0);
+  EXPECT_FALSE(f.value().matches(e));
+}
+
+TEST(FilterParser, NumbersAndBooleans) {
+  auto f = parse_filter("n = 5 and x >= -1.5 and flag = true");
+  ASSERT_TRUE(f.is_ok());
+  Event e;
+  e.set("n", 5).set("x", 0.0).set("flag", true);
+  EXPECT_TRUE(f.value().matches(e));
+}
+
+TEST(FilterParser, BarewordsAreStrings) {
+  auto f = parse_filter("kind = icecream");
+  ASSERT_TRUE(f.is_ok());
+  Event e;
+  e.set("kind", "icecream");
+  EXPECT_TRUE(f.value().matches(e));
+}
+
+TEST(FilterParser, Errors) {
+  EXPECT_FALSE(parse_filter("").is_ok());
+  EXPECT_FALSE(parse_filter("a >").is_ok());
+  EXPECT_FALSE(parse_filter("a = 1 and").is_ok());
+  EXPECT_FALSE(parse_filter("a = 1 or b = 2").is_ok());  // no 'or' in language
+  EXPECT_FALSE(parse_filter("= 5").is_ok());
+  EXPECT_FALSE(parse_filter("a = \"unterminated").is_ok());
+}
+
+TEST(FilterParser, RoundTripThroughDescribe) {
+  // describe() output is itself parseable for simple filters.
+  Filter f;
+  f.where("a", Op::kGt, 5).where("b", Op::kPrefix, "xy");
+  auto back = parse_filter(f.describe());
+  ASSERT_TRUE(back.is_ok()) << f.describe();
+  EXPECT_EQ(back.value(), f);
+}
+
+}  // namespace
+}  // namespace aa::event

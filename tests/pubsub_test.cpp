@@ -1,0 +1,367 @@
+// Tests for the event services: Siena-model distributed routing
+// (delivery, covering-based pruning, unsubscription), the Elvin-style
+// central baseline, the flooding baseline, and mobility proxies.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "event/filter_parser.hpp"
+#include "pubsub/central_service.hpp"
+#include "pubsub/flooding_network.hpp"
+#include "pubsub/mobility.hpp"
+#include "pubsub/siena_network.hpp"
+
+namespace aa::pubsub {
+namespace {
+
+using event::Event;
+using event::Filter;
+using event::Op;
+
+struct Fixture {
+  sim::Scheduler sched;
+  std::shared_ptr<sim::UniformTopology> topo;
+  sim::Network net;
+
+  explicit Fixture(std::size_t hosts = 16)
+      : topo(std::make_shared<sim::UniformTopology>(hosts, duration::millis(5))),
+        net(sched, topo) {}
+};
+
+Event temp_event(double celsius) {
+  Event e("temperature");
+  e.set("celsius", celsius);
+  return e;
+}
+
+// --- SienaNetwork ---
+
+TEST(Siena, DeliversMatchingEventAcrossBrokers) {
+  Fixture f;
+  SienaNetwork ps(f.net, {0, 1, 2, 3});
+  ps.connect_tree();
+  ps.attach_client(10, 0);
+  ps.attach_client(11, 3);
+
+  std::vector<Event> got;
+  ps.subscribe(11, Filter().where("type", Op::kEq, "temperature"),
+               [&](const Event& e) { got.push_back(e); });
+  f.sched.run();
+
+  ps.publish(10, temp_event(21.0));
+  f.sched.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_DOUBLE_EQ(got[0].get_real("celsius").value(), 21.0);
+}
+
+TEST(Siena, FiltersNonMatchingEvents) {
+  Fixture f;
+  SienaNetwork ps(f.net, {0, 1});
+  ps.connect_tree();
+  ps.attach_client(10, 0);
+  ps.attach_client(11, 1);
+  int got = 0;
+  ps.subscribe(11, Filter().where("celsius", Op::kGt, 30.0), [&](const Event&) { ++got; });
+  f.sched.run();
+  ps.publish(10, temp_event(21.0));
+  f.sched.run();
+  EXPECT_EQ(got, 0);
+}
+
+TEST(Siena, EventNotSentToUninterestedBranches) {
+  // Star of brokers: events should only traverse edges toward matching
+  // subscribers, never to broker 2's branch.
+  Fixture f;
+  SienaNetwork ps(f.net, {0, 1, 2});
+  ASSERT_TRUE(ps.connect(0, 1).is_ok());
+  ASSERT_TRUE(ps.connect(0, 2).is_ok());
+  ps.attach_client(10, 1);  // publisher
+  ps.attach_client(11, 2);  // subscriber to something else
+  ps.subscribe(11, Filter().where("type", Op::kEq, "other"), [](const Event&) {});
+  f.sched.run();
+  ps.publish(10, temp_event(25.0));
+  f.sched.run();
+  // Broker 2 received the subscription but must not receive the
+  // non-matching publication.
+  EXPECT_EQ(ps.broker(2)->stats().publications_routed, 0u);
+}
+
+TEST(Siena, CoveringSuppressesSubscriptionForwarding) {
+  Fixture f;
+  SienaNetwork ps(f.net, {0, 1});
+  ps.connect_tree();
+  ps.attach_client(10, 0);
+  ps.attach_client(11, 0);
+  // Wide subscription first, then a covered narrower one: the second
+  // must not be forwarded from broker 0 to broker 1.
+  ps.subscribe(10, Filter().where("celsius", Op::kGt, 0.0), [](const Event&) {});
+  f.sched.run();
+  ps.subscribe(11, Filter().where("celsius", Op::kGt, 10.0), [](const Event&) {});
+  f.sched.run();
+  EXPECT_GE(ps.broker(0)->stats().subscriptions_suppressed, 1u);
+  // Broker 1 holds only the covering subscription.
+  EXPECT_EQ(ps.broker(1)->table_size(), 1u);
+}
+
+TEST(Siena, CoveredSubscriberStillReceivesEvents) {
+  Fixture f;
+  SienaNetwork ps(f.net, {0, 1});
+  ps.connect_tree();
+  ps.attach_client(10, 0);
+  ps.attach_client(11, 0);
+  ps.attach_client(12, 1);
+  int wide = 0, narrow = 0;
+  ps.subscribe(10, Filter().where("celsius", Op::kGt, 0.0), [&](const Event&) { ++wide; });
+  f.sched.run();
+  ps.subscribe(11, Filter().where("celsius", Op::kGt, 10.0), [&](const Event&) { ++narrow; });
+  f.sched.run();
+  ps.publish(12, temp_event(20.0));  // matches both, from the far broker
+  f.sched.run();
+  EXPECT_EQ(wide, 1);
+  EXPECT_EQ(narrow, 1);
+}
+
+TEST(Siena, UnsubscribeStopsDeliveryAndRestoresCovered) {
+  Fixture f;
+  SienaNetwork ps(f.net, {0, 1});
+  ps.connect_tree();
+  ps.attach_client(10, 0);
+  ps.attach_client(12, 1);
+  int wide = 0, narrow = 0;
+  const auto wide_id =
+      ps.subscribe(10, Filter().where("celsius", Op::kGt, 0.0), [&](const Event&) { ++wide; });
+  f.sched.run();
+  ps.subscribe(10, Filter().where("celsius", Op::kGt, 10.0), [&](const Event&) { ++narrow; });
+  f.sched.run();
+
+  ps.unsubscribe(10, wide_id);
+  f.sched.run();
+  // The narrow subscription must now be installed at broker 1 (it was
+  // suppressed by the wide one before).
+  EXPECT_EQ(ps.broker(1)->table_size(), 1u);
+
+  ps.publish(12, temp_event(20.0));
+  f.sched.run();
+  EXPECT_EQ(wide, 0);
+  EXPECT_EQ(narrow, 1);
+}
+
+TEST(Siena, MultipleSubscriptionsOneClientOneDeliveryEach) {
+  Fixture f;
+  SienaNetwork ps(f.net, {0});
+  ps.attach_client(10, 0);
+  ps.attach_client(11, 0);
+  int a = 0, b = 0;
+  ps.subscribe(10, Filter().where("celsius", Op::kGt, 0.0), [&](const Event&) { ++a; });
+  ps.subscribe(10, Filter().where("celsius", Op::kGt, 10.0), [&](const Event&) { ++b; });
+  f.sched.run();
+  ps.publish(11, temp_event(20.0));
+  f.sched.run();
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(Siena, RejectsCyclicOverlayLinks) {
+  Fixture f;
+  SienaNetwork ps(f.net, {0, 1, 2});
+  EXPECT_TRUE(ps.connect(0, 1).is_ok());
+  EXPECT_TRUE(ps.connect(1, 2).is_ok());
+  EXPECT_FALSE(ps.connect(2, 0).is_ok());
+}
+
+TEST(Siena, AutoAttachesUnattachedClients) {
+  Fixture f;
+  SienaNetwork ps(f.net, {0});
+  int got = 0;
+  ps.subscribe(9, Filter(), [&](const Event&) { ++got; });
+  f.sched.run();
+  ps.publish(8, temp_event(1.0));
+  f.sched.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Siena, DeepChainDelivery) {
+  Fixture f(40);
+  std::vector<sim::HostId> brokers;
+  for (sim::HostId h = 0; h < 20; ++h) brokers.push_back(h);
+  SienaNetwork ps(f.net, brokers);
+  for (sim::HostId h = 0; h + 1 < 20; ++h) ASSERT_TRUE(ps.connect(h, h + 1).is_ok());
+  ps.attach_client(30, 0);
+  ps.attach_client(31, 19);
+  int got = 0;
+  ps.subscribe(31, Filter().where("type", Op::kEq, "temperature"),
+               [&](const Event&) { ++got; });
+  f.sched.run();
+  ps.publish(30, temp_event(5.0));
+  f.sched.run();
+  EXPECT_EQ(got, 1);
+}
+
+// --- CentralService ---
+
+TEST(Central, DeliversAndFilters) {
+  Fixture f;
+  CentralService ps(f.net, 0);
+  int hot = 0, all = 0;
+  ps.subscribe(10, Filter().where("celsius", Op::kGt, 30.0), [&](const Event&) { ++hot; });
+  ps.subscribe(11, Filter(), [&](const Event&) { ++all; });
+  f.sched.run();
+  ps.publish(12, temp_event(20.0));
+  f.sched.run();
+  EXPECT_EQ(hot, 0);
+  EXPECT_EQ(all, 1);
+}
+
+TEST(Central, UnsubscribeStopsDelivery) {
+  Fixture f;
+  CentralService ps(f.net, 0);
+  int got = 0;
+  const auto id = ps.subscribe(10, Filter(), [&](const Event&) { ++got; });
+  f.sched.run();
+  ps.unsubscribe(10, id);
+  f.sched.run();
+  ps.publish(11, temp_event(1.0));
+  f.sched.run();
+  EXPECT_EQ(got, 0);
+}
+
+TEST(Central, AllTrafficTouchesServer) {
+  Fixture f;
+  CentralService ps(f.net, 0);
+  ps.subscribe(10, Filter(), [](const Event&) {});
+  f.sched.run();
+  for (int i = 0; i < 5; ++i) ps.publish(11, temp_event(i));
+  f.sched.run();
+  EXPECT_EQ(ps.server_messages(), 6u);  // 1 sub + 5 pubs
+}
+
+// --- FloodingNetwork ---
+
+TEST(Flooding, DeliversToMatchingSubscriberOnly) {
+  Fixture f;
+  FloodingNetwork ps(f.net, {0, 1, 2, 3});
+  ps.connect_tree();
+  ps.attach_client(10, 0);
+  ps.attach_client(11, 3);
+  int got = 0, other = 0;
+  ps.subscribe(11, Filter().where("type", Op::kEq, "temperature"), [&](const Event&) { ++got; });
+  ps.subscribe(11, Filter().where("type", Op::kEq, "humidity"), [&](const Event&) { ++other; });
+  f.sched.run();
+  ps.publish(10, temp_event(9.0));
+  f.sched.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(other, 0);
+}
+
+TEST(Flooding, VisitsAllBrokersRegardlessOfInterest) {
+  Fixture f;
+  FloodingNetwork ps(f.net, {0, 1, 2, 3});
+  ps.connect_tree();
+  ps.attach_client(10, 0);
+  f.sched.run();
+  const auto before = ps.broker_messages();
+  ps.publish(10, temp_event(1.0));
+  f.sched.run();
+  // The publication reaches every broker: 1 client->broker + 3 flood hops.
+  EXPECT_EQ(ps.broker_messages() - before, 4u);
+}
+
+// --- MobilityService ---
+
+TEST(Mobility, RelaysWhileConnected) {
+  Fixture f;
+  SienaNetwork siena(f.net, {0, 1});
+  siena.connect_tree();
+  MobilityService mob(f.net, siena, /*proxy_host=*/1);
+  mob.register_mobile("bob", 10);
+  int got = 0;
+  mob.subscribe("bob", Filter().where("type", Op::kEq, "temperature"),
+                [&](const Event&) { ++got; });
+  f.sched.run();
+  siena.publish(11, temp_event(20.0));
+  f.sched.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Mobility, BuffersWhileDisconnectedAndReplaysOnReconnect) {
+  Fixture f;
+  SienaNetwork siena(f.net, {0, 1});
+  siena.connect_tree();
+  MobilityService mob(f.net, siena, 1);
+  mob.register_mobile("bob", 10);
+  std::vector<double> got;
+  mob.subscribe("bob", Filter().where("type", Op::kEq, "temperature"),
+                [&](const Event& e) { got.push_back(e.get_real("celsius").value()); });
+  f.sched.run();
+
+  mob.disconnect("bob");
+  siena.publish(11, temp_event(1.0));
+  siena.publish(11, temp_event(2.0));
+  f.sched.run();
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(mob.buffered("bob"), 2u);
+
+  mob.reconnect("bob", /*new_host=*/12);  // reappears elsewhere
+  f.sched.run();
+  EXPECT_EQ(got, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(mob.buffered("bob"), 0u);
+}
+
+TEST(Mobility, BufferOverflowDropsOldest) {
+  Fixture f;
+  SienaNetwork siena(f.net, {0});
+  MobilityService mob(f.net, siena, 0, /*capacity=*/2);
+  mob.register_mobile("bob", 10);
+  std::vector<double> got;
+  mob.subscribe("bob", Filter().where("type", Op::kEq, "temperature"),
+                [&](const Event& e) { got.push_back(e.get_real("celsius").value()); });
+  f.sched.run();
+  mob.disconnect("bob");
+  for (int i = 1; i <= 5; ++i) siena.publish(11, temp_event(i));
+  f.sched.run();
+  EXPECT_EQ(mob.dropped(), 3u);
+  mob.reconnect("bob", 10);
+  f.sched.run();
+  EXPECT_EQ(got, (std::vector<double>{4.0, 5.0}));
+}
+
+// --- Cross-implementation comparison (the C1 claim in miniature) ---
+
+TEST(Comparison, SienaSendsFewerBytesThanFloodingForLocalTraffic) {
+  // Publisher and subscriber share a branch; flooding still traverses
+  // the whole overlay while content-based routing stays local.
+  auto run = [&](bool flooding) -> std::uint64_t {
+    Fixture f(64);
+    std::vector<sim::HostId> brokers;
+    for (sim::HostId h = 0; h < 16; ++h) brokers.push_back(h);
+    std::uint64_t bytes = 0;
+    if (flooding) {
+      FloodingNetwork ps(f.net, brokers);
+      ps.connect_tree();
+      ps.attach_client(20, 15);
+      ps.attach_client(21, 15);
+      ps.subscribe(21, Filter().where("type", Op::kEq, "temperature"), [](const Event&) {});
+      f.sched.run();
+      f.net.reset_stats();
+      for (int i = 0; i < 10; ++i) ps.publish(20, temp_event(i));
+      f.sched.run();
+      bytes = f.net.stats().bytes_sent;
+    } else {
+      SienaNetwork ps(f.net, brokers);
+      ps.connect_tree();
+      ps.attach_client(20, 15);
+      ps.attach_client(21, 15);
+      ps.subscribe(21, Filter().where("type", Op::kEq, "temperature"), [](const Event&) {});
+      f.sched.run();
+      f.net.reset_stats();
+      for (int i = 0; i < 10; ++i) ps.publish(20, temp_event(i));
+      f.sched.run();
+      bytes = f.net.stats().bytes_sent;
+    }
+    return bytes;
+  };
+  EXPECT_LT(run(false), run(true));
+}
+
+}  // namespace
+}  // namespace aa::pubsub

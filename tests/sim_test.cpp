@@ -1,0 +1,331 @@
+// Unit tests for the discrete-event simulator: scheduler semantics,
+// network delivery and accounting, churn injection, metrics.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/churn.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/topology.hpp"
+
+namespace aa::sim {
+namespace {
+
+// --- Scheduler ---
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.after(300, [&] { order.push_back(3); });
+  s.after(100, [&] { order.push_back(1); });
+  s.after(200, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 300);
+}
+
+TEST(Scheduler, FifoAmongEqualTimes) {
+  Scheduler s;
+  std::vector<int> order;
+  s.after(100, [&] { order.push_back(1); });
+  s.after(100, [&] { order.push_back(2); });
+  s.after(100, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, NestedSchedulingFromHandlers) {
+  Scheduler s;
+  std::vector<std::string> log;
+  s.after(10, [&] {
+    log.push_back("a");
+    s.after(5, [&] { log.push_back("b"); });
+  });
+  s.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(s.now(), 15);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  const TaskId id = s.after(10, [&] { ran = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, RunUntilLeavesLaterEvents) {
+  Scheduler s;
+  int count = 0;
+  s.after(10, [&] { ++count; });
+  s.after(100, [&] { ++count; });
+  s.run_until(50);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(s.now(), 50);
+  s.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Scheduler, PeriodicTaskRepeatsUntilCancelled) {
+  Scheduler s;
+  int fires = 0;
+  const TaskId id = s.every(10, [&] { ++fires; });
+  s.run_until(55);
+  EXPECT_EQ(fires, 5);
+  s.cancel(id);
+  s.run_until(200);
+  EXPECT_EQ(fires, 5);
+}
+
+TEST(Scheduler, PeriodicTaskCanCancelItself) {
+  Scheduler s;
+  int fires = 0;
+  TaskId id = kInvalidTask;
+  id = s.every(10, [&] {
+    if (++fires == 3) s.cancel(id);
+  });
+  s.run_until(500);
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(Scheduler, PastTimesClampToNow) {
+  Scheduler s;
+  s.after(100, [&] {
+    s.at(5, [&] { EXPECT_GE(s.now(), 100); });
+  });
+  s.run();
+}
+
+// --- Topologies ---
+
+TEST(Topology, UniformLatency) {
+  UniformTopology t(4, duration::millis(10));
+  EXPECT_EQ(t.latency(0, 1), duration::millis(10));
+  EXPECT_EQ(t.latency(2, 3), duration::millis(10));
+  EXPECT_LT(t.latency(1, 1), duration::millis(1));
+}
+
+TEST(Topology, EuclideanSymmetricAndDeterministic) {
+  EuclideanTopology t1(16, 100.0, duration::millis(1), duration::micros(50), 42);
+  EuclideanTopology t2(16, 100.0, duration::millis(1), duration::micros(50), 42);
+  for (HostId a = 0; a < 16; ++a) {
+    for (HostId b = 0; b < 16; ++b) {
+      EXPECT_EQ(t1.latency(a, b), t1.latency(b, a));
+      EXPECT_EQ(t1.latency(a, b), t2.latency(a, b));
+    }
+  }
+}
+
+TEST(Topology, TransitStubIntraCheaperThanInter) {
+  TransitStubTopology::Params p;
+  p.regions = 4;
+  TransitStubTopology t(16, p);
+  // Hosts 0 and 4 share region 0; hosts 0 and 1 are in different regions.
+  EXPECT_EQ(t.region_of(0), t.region_of(4));
+  EXPECT_NE(t.region_of(0), t.region_of(1));
+  EXPECT_LT(t.latency(0, 4), t.latency(0, 1));
+}
+
+// --- Network ---
+
+struct NetFixture {
+  Scheduler sched;
+  std::shared_ptr<UniformTopology> topo = std::make_shared<UniformTopology>(8, 1000);
+  Network net{sched, topo};
+};
+
+TEST(Network, DeliversAfterLatency) {
+  NetFixture f;
+  SimTime delivered_at = -1;
+  f.net.register_handler(1, "test", [&](const Packet&) { delivered_at = f.sched.now(); });
+  f.net.send(0, 1, "test", std::string("hi"), 100);
+  f.sched.run();
+  EXPECT_GE(delivered_at, 1000);
+}
+
+TEST(Network, BodyTypePreserved) {
+  NetFixture f;
+  std::string got;
+  f.net.register_handler(1, "test", [&](const Packet& p) {
+    const auto* body = packet_body<std::string>(p);
+    ASSERT_NE(body, nullptr);
+    got = *body;
+  });
+  f.net.send(0, 1, "test", std::string("payload"), 10);
+  f.sched.run();
+  EXPECT_EQ(got, "payload");
+}
+
+TEST(Network, DropsWhenDestinationDown) {
+  NetFixture f;
+  int received = 0;
+  f.net.register_handler(1, "test", [&](const Packet&) { ++received; });
+  f.net.set_host_up(1, false);
+  f.net.send(0, 1, "test", 1, 10);
+  f.sched.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(f.net.stats().messages_dropped, 1u);
+}
+
+TEST(Network, DropsInFlightWhenDestinationDiesBeforeDelivery) {
+  NetFixture f;
+  int received = 0;
+  f.net.register_handler(1, "test", [&](const Packet&) { ++received; });
+  f.net.send(0, 1, "test", 1, 10);
+  f.sched.after(10, [&] { f.net.set_host_up(1, false); });  // dies mid-flight
+  f.sched.run();
+  EXPECT_EQ(received, 0);
+}
+
+TEST(Network, CountsBytesAndMessages) {
+  NetFixture f;
+  f.net.register_handler(1, "test", [](const Packet&) {});
+  f.net.send(0, 1, "test", 1, 250);
+  f.net.send(0, 1, "test", 2, 750);
+  f.sched.run();
+  EXPECT_EQ(f.net.stats().messages_sent, 2u);
+  EXPECT_EQ(f.net.stats().messages_delivered, 2u);
+  EXPECT_EQ(f.net.stats().bytes_sent, 1000u);
+  EXPECT_EQ(f.net.delivered_to(1), 2u);
+}
+
+TEST(Network, NoHandlerCountsAsDrop) {
+  NetFixture f;
+  f.net.send(0, 1, "nobody", 1, 10);
+  f.sched.run();
+  EXPECT_EQ(f.net.stats().messages_dropped, 1u);
+}
+
+TEST(Network, LiveHostsReflectsState) {
+  NetFixture f;
+  EXPECT_EQ(f.net.live_hosts().size(), 8u);
+  f.net.set_host_up(3, false);
+  EXPECT_EQ(f.net.live_hosts().size(), 7u);
+}
+
+TEST(Network, LinkIsFifoEvenAcrossSizes) {
+  // A small message sent after a large one on the same link must not
+  // overtake it (TCP-like per-link ordering).
+  NetFixture f;
+  std::vector<int> order;
+  f.net.register_handler(1, "t", [&](const Packet& p) {
+    order.push_back(*packet_body<int>(p));
+  });
+  f.net.send(0, 1, "t", 1, 1000000);  // large: 10 ms transmission
+  f.net.send(0, 1, "t", 2, 1);        // tiny
+  f.sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Network, DistinctLinksDoNotSerialise) {
+  NetFixture f;
+  std::vector<int> order;
+  for (HostId h : {1u, 2u}) {
+    f.net.register_handler(h, "t", [&](const Packet& p) {
+      order.push_back(*packet_body<int>(p));
+    });
+  }
+  f.net.send(0, 1, "t", 1, 1000000);  // large, to host 1
+  f.net.send(0, 2, "t", 2, 1);        // tiny, to host 2: separate link
+  f.sched.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(Network, TransmissionTimeAddsToLatency) {
+  NetFixture f;  // bandwidth default: 100 bytes/us
+  SimTime small_t = 0, big_t = 0;
+  f.net.register_handler(1, "s", [&](const Packet&) { small_t = f.sched.now(); });
+  f.net.register_handler(2, "b", [&](const Packet&) { big_t = f.sched.now(); });
+  f.net.send(0, 1, "s", 1, 100);       // 1 us tx
+  f.net.send(0, 2, "b", 1, 100000);    // 1000 us tx
+  f.sched.run();
+  EXPECT_GT(big_t, small_t);
+}
+
+// --- Churn ---
+
+TEST(Churn, DirectedKillAndRevive) {
+  NetFixture f;
+  ChurnInjector churn(f.net, {});
+  std::vector<std::pair<HostId, ChurnEvent>> events;
+  churn.add_observer([&](HostId h, ChurnEvent e) { events.emplace_back(h, e); });
+  churn.kill(2, /*graceful=*/false);
+  EXPECT_FALSE(f.net.host_up(2));
+  churn.revive(2);
+  EXPECT_TRUE(f.net.host_up(2));
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].second, ChurnEvent::kCrash);
+  EXPECT_EQ(events[1].second, ChurnEvent::kJoin);
+}
+
+TEST(Churn, GracefulLeaveNotifiesBeforeDown) {
+  NetFixture f;
+  ChurnInjector churn(f.net, {});
+  bool was_up_at_notification = false;
+  churn.add_observer([&](HostId h, ChurnEvent e) {
+    if (e == ChurnEvent::kGracefulLeave) was_up_at_notification = f.net.host_up(h);
+  });
+  churn.kill(2, /*graceful=*/true);
+  EXPECT_TRUE(was_up_at_notification);
+  EXPECT_FALSE(f.net.host_up(2));
+}
+
+TEST(Churn, RandomDeparturesRespectProtectedHosts) {
+  NetFixture f;
+  ChurnInjector::Params p;
+  p.mean_departure_interval = duration::millis(10);
+  p.seed = 3;
+  ChurnInjector churn(f.net, p);
+  churn.start({0});
+  f.sched.run_until(duration::seconds(1));
+  churn.stop();
+  EXPECT_TRUE(f.net.host_up(0));  // protected host never dies
+  EXPECT_GT(churn.departures(), 0);
+}
+
+TEST(Churn, NodesRejoinWhenDowntimeConfigured) {
+  NetFixture f;
+  ChurnInjector::Params p;
+  p.mean_departure_interval = duration::millis(20);
+  p.mean_downtime = duration::millis(5);
+  p.seed = 4;
+  ChurnInjector churn(f.net, p);
+  churn.start();
+  f.sched.run_until(duration::seconds(2));
+  churn.stop();
+  EXPECT_GT(churn.joins(), 0);
+}
+
+// --- Metrics ---
+
+TEST(Histogram, PercentilesExact) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(i);
+  EXPECT_DOUBLE_EQ(h.min(), 1);
+  EXPECT_DOUBLE_EQ(h.max(), 100);
+  EXPECT_NEAR(h.median(), 50.5, 0.01);
+  EXPECT_NEAR(h.percentile(99), 99.01, 0.1);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(Histogram, EmptyIsSafe) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST(Metrics, CountersAccumulate) {
+  MetricsRegistry m;
+  m.add("x");
+  m.add("x", 4);
+  EXPECT_EQ(m.counter("x"), 5u);
+  EXPECT_EQ(m.counter("missing"), 0u);
+}
+
+}  // namespace
+}  // namespace aa::sim
