@@ -12,6 +12,7 @@
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
+#include "event/filter_index.hpp"
 #include "event/filter_parser.hpp"
 #include "match/engine.hpp"
 #include "match/naive_engine.hpp"
@@ -147,6 +148,62 @@ int main() {
     vs.row({bench::fmt("%d", events), bench::fmt("%.1f", incr_us),
             bench::fmt("%.1f", naive_us), bench::fmt("%.0fx", naive_us / incr_us),
             incr_matches == naive_matches ? "yes" : "NO"});
+  }
+
+  std::printf("\n(c) Broker forwarding table: counting FilterIndex vs linear scan\n"
+              "    (2000 events against N two-constraint subscription filters):\n");
+  bench::Table idx({"filters", "index us/ev", "scan us/ev", "speedup", "probes/ev",
+                    "tests/ev", "same matches"});
+  for (int filters : {1000, 10000, 100000}) {
+    Rng rng(11);
+    event::FilterIndex index;
+    std::vector<std::pair<std::uint64_t, event::Filter>> table;
+    for (int i = 0; i < filters; ++i) {
+      event::Filter f;
+      f.where("type", event::Op::kEq, "type" + std::to_string(rng.below(64)));
+      switch (rng.below(3)) {
+        case 0: f.where("topic", event::Op::kEq, "topic" + std::to_string(rng.below(64))); break;
+        case 1: f.where("value", event::Op::kGt, rng.uniform(0.0, 100.0)); break;
+        default: f.where("name", event::Op::kPrefix, "n" + std::to_string(rng.below(16)));
+      }
+      const auto id = static_cast<std::uint64_t>(i + 1);
+      index.add(id, f);
+      table.emplace_back(id, std::move(f));
+    }
+    std::vector<event::Event> events;
+    for (int i = 0; i < 2000; ++i) {
+      event::Event e("type" + std::to_string(rng.below(64)));
+      e.set("topic", "topic" + std::to_string(rng.below(64)))
+          .set("value", rng.uniform(0.0, 100.0))
+          .set("name", "n" + std::to_string(rng.below(32)) + "x");
+      events.push_back(e);
+    }
+
+    std::uint64_t probes = 0, index_matched = 0;
+    std::vector<std::uint64_t> out;
+    auto start = std::chrono::steady_clock::now();
+    for (const auto& e : events) {
+      out.clear();
+      probes += index.match(e, out);
+      index_matched += out.size();
+    }
+    const double index_us = wall_us(start) / 2000.0;
+
+    std::uint64_t tests = 0, scan_matched = 0;
+    start = std::chrono::steady_clock::now();
+    for (const auto& e : events) {
+      for (const auto& [id, f] : table) {
+        ++tests;
+        if (f.matches(e)) ++scan_matched;
+      }
+    }
+    const double scan_us = wall_us(start) / 2000.0;
+
+    idx.row({bench::fmt("%d", filters), bench::fmt("%.1f", index_us),
+             bench::fmt("%.1f", scan_us), bench::fmt("%.0fx", scan_us / index_us),
+             bench::fmt("%.0f", static_cast<double>(probes) / 2000.0),
+             bench::fmt("%.0f", static_cast<double>(tests) / 2000.0),
+             index_matched == scan_matched ? "yes" : "NO"});
   }
 
   std::printf("\nShape check: the incremental engine's per-event cost is flat in\n"

@@ -1,0 +1,289 @@
+#include "event/filter_index.hpp"
+
+#include <algorithm>
+#include <string_view>
+
+namespace aa::event {
+
+namespace {
+
+template <typename T>
+void remove_one(std::vector<T>& ids, T id) {
+  auto it = std::find(ids.begin(), ids.end(), id);
+  if (it != ids.end()) {
+    *it = ids.back();
+    ids.pop_back();
+  }
+}
+
+/// Scans upper-bound constraints ("v < bound" / "v <= bound"): satisfied
+/// by every bound above the event value, plus non-strict bounds equal to
+/// it.
+template <typename Map, typename Key, typename Hit>
+void scan_upper(const Map& m, const Key& x, Hit&& hit) {
+  auto it = m.lower_bound(x);
+  if (it != m.end() && !m.key_comp()(x, it->first)) {  // bound == x
+    hit(it->second.nonstrict);
+    ++it;
+  }
+  for (; it != m.end(); ++it) {
+    hit(it->second.strict);
+    hit(it->second.nonstrict);
+  }
+}
+
+/// Scans lower-bound constraints ("v > bound" / "v >= bound").
+template <typename Map, typename Key, typename Hit>
+void scan_lower(const Map& m, const Key& x, Hit&& hit) {
+  auto it = m.begin();
+  for (; it != m.end() && m.key_comp()(it->first, x); ++it) {
+    hit(it->second.strict);
+    hit(it->second.nonstrict);
+  }
+  if (it != m.end() && !m.key_comp()(x, it->first)) {  // bound == x
+    hit(it->second.nonstrict);
+  }
+}
+
+}  // namespace
+
+bool FilterIndex::AttrTables::empty() const {
+  return exists.empty() && eq_str.empty() && eq_num.empty() && eq_bool[0].empty() &&
+         eq_bool[1].empty() && upper_num.empty() && upper_str.empty() && lower_num.empty() &&
+         lower_str.empty() && prefix.empty() && residual.empty();
+}
+
+void FilterIndex::post(const Constraint& c, Slot slot) {
+  AttrTables& t = attrs_[c.attribute];
+  const bool strict = c.op == Op::kLt || c.op == Op::kGt;
+  switch (c.op) {
+    case Op::kExists:
+      t.exists.push_back(slot);
+      return;
+    case Op::kEq:
+      if (c.value.is_string()) {
+        t.eq_str[c.value.str()].push_back(slot);
+      } else if (c.value.is_numeric()) {
+        // Keyed by the widened double — the exact equivalence classes of
+        // AttrValue::compare, so hash hits reproduce oracle equality.
+        t.eq_num[c.value.as_real()].push_back(slot);
+      } else {
+        t.eq_bool[c.value.boolean() ? 1 : 0].push_back(slot);
+      }
+      return;
+    case Op::kLt:
+    case Op::kLe:
+      if (c.value.is_numeric()) {
+        Bucket& b = t.upper_num[c.value.as_real()];
+        (strict ? b.strict : b.nonstrict).push_back(slot);
+        return;
+      }
+      if (c.value.is_string()) {
+        Bucket& b = t.upper_str[c.value.str()];
+        (strict ? b.strict : b.nonstrict).push_back(slot);
+        return;
+      }
+      break;  // bool bounds: residual
+    case Op::kGt:
+    case Op::kGe:
+      if (c.value.is_numeric()) {
+        Bucket& b = t.lower_num[c.value.as_real()];
+        (strict ? b.strict : b.nonstrict).push_back(slot);
+        return;
+      }
+      if (c.value.is_string()) {
+        Bucket& b = t.lower_str[c.value.str()];
+        (strict ? b.strict : b.nonstrict).push_back(slot);
+        return;
+      }
+      break;
+    case Op::kPrefix:
+      if (c.value.is_string()) {
+        t.prefix[c.value.str()].push_back(slot);
+        return;
+      }
+      break;  // non-string prefix never matches; residual preserves that
+    default:
+      break;  // kNe, kSuffix, kSubstring
+  }
+  t.residual.push_back(Residual{c, slot});
+}
+
+void FilterIndex::unpost(const Constraint& c, Slot slot) {
+  auto attr_it = attrs_.find(c.attribute);
+  if (attr_it == attrs_.end()) return;
+  AttrTables& t = attr_it->second;
+  const bool strict = c.op == Op::kLt || c.op == Op::kGt;
+
+  auto from_bucket = [&](auto& table, const auto& key) {
+    auto it = table.find(key);
+    if (it == table.end()) return;
+    remove_one(strict ? it->second.strict : it->second.nonstrict, slot);
+    if (it->second.empty()) table.erase(it);
+  };
+  auto from_list_map = [&](auto& table, const auto& key) {
+    auto it = table.find(key);
+    if (it == table.end()) return;
+    remove_one(it->second, slot);
+    if (it->second.empty()) table.erase(it);
+  };
+  auto from_residual = [&] {
+    for (auto it = t.residual.begin(); it != t.residual.end(); ++it) {
+      if (it->slot == slot && it->constraint == c) {
+        *it = t.residual.back();
+        t.residual.pop_back();
+        break;
+      }
+    }
+  };
+
+  switch (c.op) {
+    case Op::kExists:
+      remove_one(t.exists, slot);
+      break;
+    case Op::kEq:
+      if (c.value.is_string()) {
+        from_list_map(t.eq_str, c.value.str());
+      } else if (c.value.is_numeric()) {
+        from_list_map(t.eq_num, c.value.as_real());
+      } else {
+        remove_one(t.eq_bool[c.value.boolean() ? 1 : 0], slot);
+      }
+      break;
+    case Op::kLt:
+    case Op::kLe:
+      if (c.value.is_numeric()) {
+        from_bucket(t.upper_num, c.value.as_real());
+      } else if (c.value.is_string()) {
+        from_bucket(t.upper_str, c.value.str());
+      } else {
+        from_residual();
+      }
+      break;
+    case Op::kGt:
+    case Op::kGe:
+      if (c.value.is_numeric()) {
+        from_bucket(t.lower_num, c.value.as_real());
+      } else if (c.value.is_string()) {
+        from_bucket(t.lower_str, c.value.str());
+      } else {
+        from_residual();
+      }
+      break;
+    case Op::kPrefix:
+      if (c.value.is_string()) {
+        from_list_map(t.prefix, c.value.str());
+      } else {
+        from_residual();
+      }
+      break;
+    default:
+      from_residual();
+      break;
+  }
+  if (t.empty()) attrs_.erase(attr_it);
+}
+
+void FilterIndex::add(std::uint64_t id, const Filter& filter) {
+  remove(id);
+  Slot slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<Slot>(slot_id_.size());
+    slot_id_.push_back(id);
+    slot_needed_.push_back(0);
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slot_id_[slot] = id;
+  }
+  slot_needed_[slot] = static_cast<std::uint32_t>(filter.constraints().size());
+  if (filter.empty()) {
+    match_all_.push_back(id);
+  } else {
+    for (const Constraint& c : filter.constraints()) post(c, slot);
+  }
+  filters_.emplace(id, Stored{filter, slot});
+}
+
+void FilterIndex::remove(std::uint64_t id) {
+  auto it = filters_.find(id);
+  if (it == filters_.end()) return;
+  const Slot slot = it->second.slot;
+  if (it->second.filter.empty()) {
+    remove_one(match_all_, id);
+  } else {
+    for (const Constraint& c : it->second.filter.constraints()) unpost(c, slot);
+  }
+  free_slots_.push_back(slot);
+  filters_.erase(it);
+}
+
+std::uint64_t FilterIndex::match(const Event& e, std::vector<std::uint64_t>& out) const {
+  std::uint64_t probes = 0;
+  // Epoch-stamped counting: a slot's count is valid only when its stamp
+  // equals the current epoch, so the flat arrays never need clearing.
+  if (++epoch_ == 0) {
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 1;
+  }
+  counts_.resize(slot_id_.size());
+  stamp_.resize(slot_id_.size(), 0);
+  touched_.clear();
+  auto touch = [&](Slot slot) {
+    if (stamp_[slot] != epoch_) {
+      stamp_[slot] = epoch_;
+      counts_[slot] = 1;
+      touched_.push_back(slot);
+    } else {
+      ++counts_[slot];
+    }
+  };
+  auto hit = [&](const Ids& slots) {
+    for (Slot slot : slots) {
+      touch(slot);
+      ++probes;
+    }
+  };
+
+  for (const auto& [name, value] : e.attributes()) {
+    auto attr_it = attrs_.find(name);
+    if (attr_it == attrs_.end()) continue;
+    const AttrTables& t = attr_it->second;
+
+    hit(t.exists);
+    if (value.is_string()) {
+      const std::string& s = value.str();
+      if (auto eq = t.eq_str.find(s); eq != t.eq_str.end()) hit(eq->second);
+      scan_upper(t.upper_str, s, hit);
+      scan_lower(t.lower_str, s, hit);
+      if (!t.prefix.empty()) {
+        for (std::size_t len = 0; len <= s.size(); ++len) {
+          auto p = t.prefix.find(std::string_view(s.data(), len));
+          if (p != t.prefix.end()) hit(p->second);
+        }
+      }
+    } else if (value.is_numeric()) {
+      const double x = value.as_real();
+      if (auto eq = t.eq_num.find(x); eq != t.eq_num.end()) hit(eq->second);
+      scan_upper(t.upper_num, x, hit);
+      scan_lower(t.lower_num, x, hit);
+    } else {
+      hit(t.eq_bool[value.boolean() ? 1 : 0]);
+    }
+    for (const Residual& r : t.residual) {
+      ++probes;
+      if (r.constraint.matches(value)) touch(r.slot);
+    }
+  }
+
+  for (Slot slot : touched_) {
+    // Each constraint is posted under exactly one attribute and event
+    // attributes are unique, so a count can only reach the filter's
+    // constraint total when every constraint is satisfied.
+    if (counts_[slot] == slot_needed_[slot]) out.push_back(slot_id_[slot]);
+  }
+  out.insert(out.end(), match_all_.begin(), match_all_.end());
+  return probes;
+}
+
+}  // namespace aa::event

@@ -11,8 +11,10 @@ void Broker::remove_neighbour(sim::HostId broker_host) {
   forwarded_.erase(broker_host);
   // Routing state learned over the severed link is no longer reachable.
   std::erase_if(table_, [&](const auto& entry) {
-    return entry.second.source.kind == Iface::Kind::kBroker &&
-           entry.second.source.host == broker_host;
+    const bool gone = entry.second.source.kind == Iface::Kind::kBroker &&
+                      entry.second.source.host == broker_host;
+    if (gone) index_.remove(entry.first);
+    return gone;
   });
   std::erase_if(adverts_, [&](const auto& entry) {
     return entry.second.source.kind == Iface::Kind::kBroker &&
@@ -82,6 +84,7 @@ bool Broker::advert_allows(sim::HostId neighbour, const event::Filter& filter) c
 
 void Broker::handle_subscribe(std::uint64_t id, const event::Filter& filter, Iface source) {
   table_[id] = Entry{filter, source};
+  index_.add(id, filter);
   for (sim::HostId n : neighbours_) {
     if (source.kind == Iface::Kind::kBroker && source.host == n) continue;
     if (forwarded_[n].contains(id)) continue;  // idempotent re-subscribe
@@ -99,9 +102,16 @@ void Broker::handle_subscribe(std::uint64_t id, const event::Filter& filter, Ifa
 }
 
 void Broker::handle_advertise(std::uint64_t id, const event::Filter& filter, Iface source) {
-  const bool known = adverts_.contains(id);
+  const auto known = adverts_.find(id);
+  // A re-advertisement with an unchanged filter is an idempotent
+  // refresh; a *changed* filter (e.g. a publisher widening its event
+  // class) must be re-flooded and re-evaluated, otherwise downstream
+  // brokers keep routing on the stale filter and the widening is lost.
+  if (known != adverts_.end() && known->second.filter == filter) {
+    known->second.source = source;
+    return;
+  }
   adverts_[id] = Entry{filter, source};
-  if (known) return;
   // Flood the advertisement away from its source.
   for (sim::HostId n : neighbours_) {
     if (source.kind == Iface::Kind::kBroker && source.host == n) continue;
@@ -124,10 +134,15 @@ void Broker::handle_advertise(std::uint64_t id, const event::Filter& filter, Ifa
 }
 
 void Broker::handle_unsubscribe(std::uint64_t id, Iface source) {
-  (void)source;
   auto it = table_.find(id);
   if (it == table_.end()) return;
+  // Only the interface that installed an entry may remove it: when a
+  // client moves to a new access broker reusing its subscription ids,
+  // the unsubscribe propagating along the old path must not tear down
+  // the subscription just re-issued over the new one.
+  if (it->second.source != source) return;
   table_.erase(it);
+  index_.remove(id);
 
   for (sim::HostId n : neighbours_) {
     auto fwd = forwarded_.find(n);
@@ -151,15 +166,26 @@ void Broker::route_publish(const event::Event& e, std::optional<sim::HostId> arr
   ++stats_.publications_routed;
   std::set<sim::HostId> forward_to;
   std::set<sim::HostId> deliver_to;
-  for (const auto& [id, entry] : table_) {
-    ++stats_.match_tests;
-    if (!entry.filter.matches(e)) continue;
+  auto route_match = [&](const Entry& entry) {
     if (entry.source.kind == Iface::Kind::kBroker) {
       if (!arrival_broker || entry.source.host != *arrival_broker) {
         forward_to.insert(entry.source.host);
       }
     } else {
       deliver_to.insert(entry.source.host);
+    }
+  };
+  if (indexed_matching_) {
+    std::vector<std::uint64_t> matched;
+    stats_.index_probes += index_.match(e, matched);
+    for (std::uint64_t id : matched) {
+      auto it = table_.find(id);
+      if (it != table_.end()) route_match(it->second);
+    }
+  } else {
+    for (const auto& [id, entry] : table_) {
+      ++stats_.match_tests;
+      if (entry.filter.matches(e)) route_match(entry);
     }
   }
   const std::size_t size = e.wire_size();

@@ -22,6 +22,7 @@
 
 #include "event/event.hpp"
 #include "event/filter.hpp"
+#include "event/filter_index.hpp"
 #include "pubsub/messages.hpp"
 #include "sim/network.hpp"
 
@@ -32,7 +33,8 @@ struct BrokerStats {
   std::uint64_t deliveries = 0;
   std::uint64_t subscriptions_forwarded = 0;
   std::uint64_t subscriptions_suppressed = 0;  // covering prunes
-  std::uint64_t match_tests = 0;
+  std::uint64_t match_tests = 0;   // naive path: full filter evaluations
+  std::uint64_t index_probes = 0;  // indexed path: posting entries visited
 };
 
 class Broker {
@@ -49,6 +51,14 @@ class Broker {
   /// of an overlay must agree on the mode.
   void set_advertisement_forwarding(bool on) { advertisement_forwarding_ = on; }
   bool advertisement_forwarding() const { return advertisement_forwarding_; }
+
+  /// Selects the publication-matching path: the counting FilterIndex
+  /// (default) or the linear scan over the routing table, kept as the
+  /// correctness oracle.  Both paths produce identical delivery and
+  /// forwarding sets; they differ only in cost (stats().index_probes vs
+  /// stats().match_tests).
+  void set_indexed_matching(bool on) { indexed_matching_ = on; }
+  bool indexed_matching() const { return indexed_matching_; }
 
   /// Declares a neighbour broker (call on both endpoints; the overlay
   /// must remain acyclic — SienaNetwork enforces a tree).
@@ -103,8 +113,12 @@ class Broker {
   sim::Network& net_;
   sim::HostId host_;
   bool advertisement_forwarding_ = false;
+  bool indexed_matching_ = true;
   std::set<sim::HostId> neighbours_;
   std::map<std::uint64_t, Entry> table_;
+  // Predicate index over table_ filters; maintained alongside every
+  // table_ mutation so the matching path can be switched at any time.
+  event::FilterIndex index_;
   // Per neighbour: subscription ids we have forwarded to it.
   std::map<sim::HostId, std::set<std::uint64_t>> forwarded_;
   // Advertisements seen, by id (filter + the interface they came from).

@@ -50,14 +50,25 @@ void CentralService::publish(sim::HostId client, const event::Event& e) {
 void CentralService::on_server_message(const sim::Packet& packet) {
   ++server_messages_;
   if (const auto* sub = sim::packet_body<SubscribeMsg>(packet)) {
-    server_subs_.push_back(ServerSub{sub->id, sub->filter, packet.src});
+    server_subs_[sub->id] = ServerSub{sub->filter, packet.src};
+    server_index_.add(sub->id, sub->filter);
   } else if (const auto* unsub = sim::packet_body<UnsubscribeMsg>(packet)) {
-    std::erase_if(server_subs_, [&](const ServerSub& s) { return s.id == unsub->id; });
+    server_subs_.erase(unsub->id);
+    server_index_.remove(unsub->id);
   } else if (const auto* pub = sim::packet_body<PublishMsg>(packet)) {
     std::set<sim::HostId> deliver_to;
-    for (const ServerSub& s : server_subs_) {
-      ++match_tests_;
-      if (s.filter.matches(pub->event)) deliver_to.insert(s.client);
+    if (indexed_matching_) {
+      std::vector<std::uint64_t> matched;
+      index_probes_ += server_index_.match(pub->event, matched);
+      for (std::uint64_t id : matched) {
+        auto it = server_subs_.find(id);
+        if (it != server_subs_.end()) deliver_to.insert(it->second.client);
+      }
+    } else {
+      for (const auto& [id, s] : server_subs_) {
+        ++match_tests_;
+        if (s.filter.matches(pub->event)) deliver_to.insert(s.client);
+      }
     }
     const std::size_t size = pub->event.wire_size();
     for (sim::HostId c : deliver_to) {

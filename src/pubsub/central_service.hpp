@@ -7,6 +7,7 @@
 #include <map>
 #include <vector>
 
+#include "event/filter_index.hpp"
 #include "pubsub/event_service.hpp"
 #include "pubsub/messages.hpp"
 
@@ -27,11 +28,17 @@ class CentralService final : public EventService {
 
   sim::HostId server_host() const { return server_; }
   std::uint64_t server_match_tests() const { return match_tests_; }
+  std::uint64_t server_index_probes() const { return index_probes_; }
   std::uint64_t server_messages() const { return server_messages_; }
+
+  /// Selects the server's matching path: the counting FilterIndex
+  /// (default) or the naive scan over all subscriptions (the oracle;
+  /// its cost is the paper's scalability complaint about Elvin).
+  void set_indexed_matching(bool on) { indexed_matching_ = on; }
+  bool indexed_matching() const { return indexed_matching_; }
 
  private:
   struct ServerSub {
-    std::uint64_t id;
     event::Filter filter;
     sim::HostId client;
   };
@@ -47,10 +54,13 @@ class CentralService final : public EventService {
 
   sim::Network& net_;
   sim::HostId server_;
-  std::vector<ServerSub> server_subs_;
+  bool indexed_matching_ = true;
+  std::map<std::uint64_t, ServerSub> server_subs_;
+  event::FilterIndex server_index_;
   std::map<sim::HostId, std::vector<ClientSub>> client_subs_;
   std::uint64_t next_sub_id_ = 1;
   std::uint64_t match_tests_ = 0;
+  std::uint64_t index_probes_ = 0;
   std::uint64_t server_messages_ = 0;
 };
 

@@ -61,10 +61,21 @@ void SienaNetwork::connect_tree(int fanout) {
 
 void SienaNetwork::attach_client(sim::HostId client_host, sim::HostId broker_host) {
   ClientState& state = clients_[client_host];
+  const sim::HostId previous = state.access_broker;
   state.access_broker = broker_host;
   net_.register_handler(client_host, kClientProto, [this, client_host](const sim::Packet& p) {
     on_client_message(client_host, p);
   });
+  if (previous == sim::kNoHost || previous == broker_host) return;
+  // The client moved: its live subscriptions are still routed at the old
+  // access broker.  Tear them down there and re-issue them at the new
+  // one, or events keep flowing to a broker the client no longer reads.
+  for (const auto& [id, sub] : state.subs) {
+    net_.send(client_host, previous, kBrokerProto, UnsubscribeMsg{id}, 16);
+    SubscribeMsg msg{id, sub.filter};
+    const std::size_t size = subscribe_wire_size(msg);
+    net_.send(client_host, broker_host, kBrokerProto, std::move(msg), size);
+  }
 }
 
 void SienaNetwork::attach_client_nearest(sim::HostId client_host) {
@@ -95,7 +106,8 @@ std::uint64_t SienaNetwork::subscribe(sim::HostId client, const event::Filter& f
                                       Deliver deliver) {
   ClientState& state = client_state(client);
   const std::uint64_t id = next_sub_id_++;
-  state.subs.push_back(ClientSub{id, filter, std::move(deliver)});
+  state.subs.emplace(id, ClientSub{filter, std::move(deliver)});
+  state.index.add(id, filter);
   SubscribeMsg msg{id, filter};
   const std::size_t size = subscribe_wire_size(msg);
   net_.send(client, state.access_broker, kBrokerProto, std::move(msg), size);
@@ -104,7 +116,8 @@ std::uint64_t SienaNetwork::subscribe(sim::HostId client, const event::Filter& f
 
 void SienaNetwork::unsubscribe(sim::HostId client, std::uint64_t subscription_id) {
   ClientState& state = client_state(client);
-  std::erase_if(state.subs, [&](const ClientSub& s) { return s.id == subscription_id; });
+  state.subs.erase(subscription_id);
+  state.index.remove(subscription_id);
   net_.send(client, state.access_broker, kBrokerProto, UnsubscribeMsg{subscription_id}, 16);
 }
 
@@ -117,10 +130,26 @@ void SienaNetwork::set_advertisement_forwarding(bool on) {
   for (const auto& [h, broker] : brokers_) broker->set_advertisement_forwarding(on);
 }
 
+void SienaNetwork::set_indexed_matching(bool on) {
+  indexed_matching_ = on;
+  for (const auto& [h, broker] : brokers_) broker->set_indexed_matching(on);
+}
+
 void SienaNetwork::advertise(sim::HostId client, const event::Filter& filter) {
   const std::uint64_t id = next_adv_id_++;
   advertisements_.push_back(
       event::Advertisement{id, "host-" + std::to_string(client), filter});
+  ClientState& state = client_state(client);
+  AdvertiseMsg msg{id, filter};
+  const std::size_t size = filter_wire_size(filter) + 8;
+  net_.send(client, state.access_broker, kBrokerProto, std::move(msg), size);
+}
+
+void SienaNetwork::re_advertise(sim::HostId client, std::uint64_t id,
+                                const event::Filter& filter) {
+  for (event::Advertisement& adv : advertisements_) {
+    if (adv.id == id) adv.filter = filter;
+  }
   ClientState& state = client_state(client);
   AdvertiseMsg msg{id, filter};
   const std::size_t size = filter_wire_size(filter) + 8;
@@ -133,9 +162,19 @@ void SienaNetwork::on_client_message(sim::HostId client_host, const sim::Packet&
   auto it = clients_.find(client_host);
   if (it == clients_.end()) return;
   // One network delivery per client; dispatch locally to each matching
-  // subscription's callback.
-  for (const ClientSub& sub : it->second.subs) {
-    if (sub.filter.matches(msg->event)) sub.deliver(msg->event);
+  // subscription's callback (in subscription-id order on both paths).
+  if (indexed_matching_) {
+    std::vector<std::uint64_t> matched;
+    it->second.index.match(msg->event, matched);
+    std::sort(matched.begin(), matched.end());
+    for (std::uint64_t id : matched) {
+      auto sub = it->second.subs.find(id);
+      if (sub != it->second.subs.end()) sub->second.deliver(msg->event);
+    }
+  } else {
+    for (const auto& [id, sub] : it->second.subs) {
+      if (sub.filter.matches(msg->event)) sub.deliver(msg->event);
+    }
   }
 }
 
@@ -153,6 +192,7 @@ BrokerStats SienaNetwork::total_broker_stats() const {
     total.subscriptions_forwarded += s.subscriptions_forwarded;
     total.subscriptions_suppressed += s.subscriptions_suppressed;
     total.match_tests += s.match_tests;
+    total.index_probes += s.index_probes;
   }
   return total;
 }

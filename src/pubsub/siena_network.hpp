@@ -38,8 +38,16 @@ class SienaNetwork final : public EventService {
   /// their access broker.  Enable before any subscribe/advertise calls.
   void set_advertisement_forwarding(bool on);
 
+  /// Selects indexed (default) or naive linear-scan matching on every
+  /// broker and for local client dispatch.  The naive path is the
+  /// correctness oracle; both deliver identical event sets.
+  void set_indexed_matching(bool on);
+
   /// Attaches a client to an access broker.  Must precede subscribe /
-  /// publish calls for that client.
+  /// publish calls for that client.  Re-attaching an already-attached
+  /// client moves it: its live subscriptions are unsubscribed at the
+  /// old access broker and re-issued at the new one, so delivery
+  /// follows the client.
   void attach_client(sim::HostId client_host, sim::HostId broker_host);
 
   /// Access broker chosen as the topologically nearest broker.
@@ -51,6 +59,11 @@ class SienaNetwork final : public EventService {
   void unsubscribe(sim::HostId client, std::uint64_t subscription_id) override;
   void publish(sim::HostId client, const event::Event& e) override;
   void advertise(sim::HostId client, const event::Filter& filter) override;
+
+  /// Re-issues an existing advertisement with a new filter (a publisher
+  /// widening or narrowing its declared event class).  `id` must come
+  /// from advertisements(); the update is flooded through the overlay.
+  void re_advertise(sim::HostId client, std::uint64_t id, const event::Filter& filter);
 
   Broker* broker(sim::HostId host);
   const std::vector<sim::HostId>& broker_hosts() const { return broker_hosts_; }
@@ -64,13 +77,15 @@ class SienaNetwork final : public EventService {
 
  private:
   struct ClientSub {
-    std::uint64_t id;
     event::Filter filter;
     Deliver deliver;
   };
   struct ClientState {
     sim::HostId access_broker = sim::kNoHost;
-    std::vector<ClientSub> subs;
+    std::map<std::uint64_t, ClientSub> subs;
+    // Local dispatch index: one delivery arrives per client, fanned out
+    // to the matching subscription callbacks.
+    event::FilterIndex index;
   };
 
   void on_client_message(sim::HostId client_host, const sim::Packet& packet);
@@ -78,6 +93,7 @@ class SienaNetwork final : public EventService {
 
   sim::Network& net_;
   std::vector<sim::HostId> broker_hosts_;
+  bool indexed_matching_ = true;
   std::map<sim::HostId, std::unique_ptr<Broker>> brokers_;
   std::map<sim::HostId, ClientState> clients_;
   std::vector<event::Advertisement> advertisements_;

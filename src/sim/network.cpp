@@ -29,12 +29,15 @@ void Network::clear_handlers(HostId host) {
 }
 
 void Network::send(Packet packet) {
-  ++stats_.messages_sent;
-  stats_.bytes_sent += packet.wire_size;
+  // A packet refused at the source (host down, id out of range) never
+  // reaches the wire: count it only as a drop, or bytes-per-delivery
+  // metrics inflate under churn.
   if (packet.src >= up_.size() || packet.dst >= up_.size() || !up_[packet.src]) {
     ++stats_.messages_dropped;
     return;
   }
+  ++stats_.messages_sent;
+  stats_.bytes_sent += packet.wire_size;
   const SimDuration latency = topo_->latency(packet.src, packet.dst);
   const SimDuration tx =
       static_cast<SimDuration>(static_cast<double>(packet.wire_size) / bandwidth_bytes_per_us_);

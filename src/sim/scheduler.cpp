@@ -17,27 +17,33 @@ TaskId Scheduler::after(SimDuration delay, std::function<void()> fn) {
 
 TaskId Scheduler::every(SimDuration period, std::function<void()> fn) {
   // The periodic task reuses one TaskId across firings so that a single
-  // cancel() stops the whole series.
+  // cancel() stops the whole series.  The callback is stored in
+  // periodic_ and the queued closures capture only the id: an earlier
+  // version captured a shared_ptr to a closure holding itself, a
+  // reference cycle that leaked every periodic task and its captured
+  // state for the life of the process.
   const TaskId id = next_id_++;
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, id, period, fn = std::move(fn), tick]() {
-    if (cancelled_.contains(id)) {
-      cancelled_.erase(id);
-      return;
-    }
-    fn();
-    if (cancelled_.contains(id)) {
-      cancelled_.erase(id);
-      return;
-    }
-    queue_.push(Entry{now_ + period, seq_++, id, *tick});
-  };
-  queue_.push(Entry{now_ + period, seq_++, id, *tick});
+  periodic_.emplace(id, Periodic{period, std::move(fn)});
+  queue_.push(Entry{now_ + period, seq_++, id, [this, id] { run_periodic(id); }});
   return id;
 }
 
+void Scheduler::run_periodic(TaskId id) {
+  auto it = periodic_.find(id);
+  if (it == periodic_.end()) return;  // cancelled; stale queue entry
+  it->second.fn();
+  // The callback may have cancelled (or re-created) its own task.
+  it = periodic_.find(id);
+  if (it == periodic_.end()) return;
+  queue_.push(Entry{now_ + it->second.period, seq_++, id, [this, id] { run_periodic(id); }});
+}
+
 void Scheduler::cancel(TaskId id) {
-  if (id != kInvalidTask) cancelled_.insert(id);
+  if (id == kInvalidTask) return;
+  // Periodic: dropping the stored callback both stops the series (the
+  // queued tick finds nothing to run) and frees its captured state now.
+  if (periodic_.erase(id) > 0) return;
+  cancelled_.insert(id);
 }
 
 bool Scheduler::step() {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -34,11 +35,14 @@ class Scheduler {
   TaskId after(SimDuration delay, std::function<void()> fn);
 
   /// Schedules `fn` every `period`, starting after `period`.  The task
-  /// keeps rescheduling itself until cancelled.
+  /// keeps rescheduling itself until cancelled.  The callback lives in
+  /// the scheduler (not in the queued closures), so cancel() — or
+  /// destroying the scheduler — releases whatever state it captured.
   TaskId every(SimDuration period, std::function<void()> fn);
 
   /// Cancels a pending (or periodic) task.  Cancelling an already-run
-  /// one-shot task is a harmless no-op.
+  /// one-shot task is a harmless no-op.  A cancelled periodic task's
+  /// callback is destroyed immediately.
   void cancel(TaskId id);
 
   /// Runs events until the queue is empty.  Returns final time.
@@ -71,12 +75,21 @@ class Scheduler {
     }
   };
 
+  struct Periodic {
+    SimDuration period;
+    std::function<void()> fn;
+  };
+
+  /// Runs one firing of periodic task `id` and reschedules the next.
+  void run_periodic(TaskId id);
+
   SimTime now_ = 0;
   std::uint64_t seq_ = 0;
   TaskId next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
   std::unordered_set<TaskId> cancelled_;
+  std::unordered_map<TaskId, Periodic> periodic_;
 };
 
 }  // namespace aa::sim

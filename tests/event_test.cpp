@@ -3,9 +3,12 @@
 // the subscription-language parser.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/rng.hpp"
 #include "event/event.hpp"
 #include "event/filter.hpp"
+#include "event/filter_index.hpp"
 #include "event/filter_parser.hpp"
 
 namespace aa::event {
@@ -317,6 +320,121 @@ TEST(FilterParser, RoundTripThroughDescribe) {
   auto back = parse_filter(f.describe());
   ASSERT_TRUE(back.is_ok()) << f.describe();
   EXPECT_EQ(back.value(), f);
+}
+
+// --- FilterIndex ---
+
+std::vector<std::uint64_t> index_match(const FilterIndex& index, const Event& e) {
+  std::vector<std::uint64_t> ids;
+  index.match(e, ids);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(FilterIndex, MatchesEveryOperatorKind) {
+  FilterIndex index;
+  index.add(1, Filter().where("type", Op::kEq, "temp"));
+  index.add(2, Filter().where("celsius", Op::kGt, 20.0));
+  index.add(3, Filter().where("celsius", Op::kLe, 25));
+  index.add(4, Filter().where("room", Op::kPrefix, "lab-"));
+  index.add(5, Filter().where("room", Op::kSuffix, "-7"));
+  index.add(6, Filter().where("room", Op::kSubstring, "ab"));
+  index.add(7, Filter().where("type", Op::kNe, "humidity"));
+  index.add(8, Filter().where("celsius", Op::kExists));
+  index.add(9, Filter());  // empty filter matches everything
+
+  Event e("temp");
+  e.set("celsius", 22.5).set("room", "lab-7");
+  EXPECT_EQ(index_match(index, e),
+            (std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6, 7, 8, 9}));
+
+  Event cold("temp");
+  cold.set("celsius", 10);
+  EXPECT_EQ(index_match(index, cold), (std::vector<std::uint64_t>{1, 3, 7, 8, 9}));
+}
+
+TEST(FilterIndex, ConjunctionRequiresEveryConstraint) {
+  FilterIndex index;
+  index.add(1, Filter().where("type", Op::kEq, "temp").where("celsius", Op::kGt, 20.0));
+  Event warm("temp");
+  warm.set("celsius", 30.0);
+  Event mistyped("humidity");
+  mistyped.set("celsius", 30.0);
+  Event cold("temp");
+  cold.set("celsius", 10.0);
+  EXPECT_EQ(index_match(index, warm), (std::vector<std::uint64_t>{1}));
+  EXPECT_TRUE(index_match(index, mistyped).empty());
+  EXPECT_TRUE(index_match(index, cold).empty());
+}
+
+TEST(FilterIndex, NumericEqualityWidensLikeCompare) {
+  // int 3 and real 3.0 are equal under AttrValue::compare; the index
+  // must reproduce that, in both directions.
+  FilterIndex index;
+  index.add(1, Filter().where("v", Op::kEq, 3));
+  index.add(2, Filter().where("v", Op::kEq, 3.0));
+  Event as_int;
+  as_int.set("v", 3);
+  Event as_real;
+  as_real.set("v", 3.0);
+  EXPECT_EQ(index_match(index, as_int), (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(index_match(index, as_real), (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(FilterIndex, RemoveAndReAdd) {
+  FilterIndex index;
+  index.add(1, Filter().where("a", Op::kEq, 1));
+  index.add(2, Filter().where("a", Op::kEq, 1));
+  Event e;
+  e.set("a", 1);
+  EXPECT_EQ(index_match(index, e), (std::vector<std::uint64_t>{1, 2}));
+
+  index.remove(1);
+  EXPECT_EQ(index_match(index, e), (std::vector<std::uint64_t>{2}));
+  EXPECT_FALSE(index.contains(1));
+
+  // Re-adding an id replaces its previous filter.
+  index.add(2, Filter().where("a", Op::kEq, 7));
+  EXPECT_TRUE(index_match(index, e).empty());
+  index.remove(2);
+  index.remove(99);  // unknown id: no-op
+  EXPECT_TRUE(index.empty());
+}
+
+TEST(FilterIndex, RandomizedAgreesWithLinearScanOracle) {
+  // Property test: over generated filters and events covering every Op
+  // kind and value type (reusing the covering-soundness generators,
+  // whose small attribute/value pool forces collisions), the index
+  // returns exactly the filters the linear-scan oracle accepts —
+  // including empty filters and after random removals.
+  Rng rng(41);
+  for (int round = 0; round < 20; ++round) {
+    FilterIndex index;
+    std::vector<std::pair<std::uint64_t, Filter>> oracle;
+    for (std::uint64_t id = 1; id <= 60; ++id) {
+      Filter f = rng.chance(0.1) ? Filter() : random_filter(rng);
+      index.add(id, f);
+      oracle.emplace_back(id, std::move(f));
+    }
+    // Drop a random third to exercise unpost across every table kind.
+    for (auto it = oracle.begin(); it != oracle.end();) {
+      if (rng.chance(1.0 / 3.0)) {
+        index.remove(it->first);
+        it = oracle.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (int i = 0; i < 50; ++i) {
+      const Event e = random_event(rng);
+      std::vector<std::uint64_t> expected;
+      for (const auto& [id, f] : oracle) {
+        if (f.matches(e)) expected.push_back(id);
+      }
+      EXPECT_EQ(index_match(index, e), expected)
+          << "event: " << e.describe() << " (round " << round << ")";
+    }
+  }
 }
 
 }  // namespace

@@ -3,7 +3,10 @@
 // central baseline, the flooding baseline, and mobility proxies.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "event/filter_parser.hpp"
 #include "pubsub/central_service.hpp"
@@ -161,6 +164,151 @@ TEST(Siena, MultipleSubscriptionsOneClientOneDeliveryEach) {
   EXPECT_EQ(b, 1);
 }
 
+TEST(Siena, ReattachedClientReceivesAfterMove) {
+  // Regression: re-attaching an attached client used to silently switch
+  // its access broker, leaving its live subscriptions routed at the old
+  // one — delivery then depended entirely on the stale broker.  A move
+  // must re-issue the subscriptions at the new access broker.
+  Fixture f;
+  SienaNetwork ps(f.net, {0, 1});
+  ps.connect_tree();
+  ps.attach_client(10, 0);
+  ps.attach_client(11, 1);  // publisher
+  int got = 0;
+  ps.subscribe(10, Filter().where("type", Op::kEq, "temperature"),
+               [&](const Event&) { ++got; });
+  f.sched.run();
+
+  ps.attach_client(10, 1);  // the client moves to broker 1
+  f.sched.run();
+  ps.publish(11, temp_event(20.0));
+  f.sched.run();
+  EXPECT_EQ(got, 1);  // exactly one delivery — moved, not duplicated
+
+  // The old broker is now irrelevant to this client: delivery must
+  // survive its death.
+  f.net.set_host_up(0, false);
+  ps.publish(11, temp_event(21.0));
+  f.sched.run();
+  EXPECT_EQ(got, 2);
+}
+
+TEST(Siena, ReadvertisementWithChangedFilterPropagates) {
+  // Regression: a re-advertisement that changed an advertisement's
+  // filter was recorded locally but never re-flooded or re-evaluated,
+  // so a publisher widening its event class was silently lost and
+  // pending subscriptions stayed suppressed downstream.
+  Fixture f;
+  SienaNetwork ps(f.net, {0, 1});
+  ps.connect_tree();
+  ps.set_advertisement_forwarding(true);
+  ps.attach_client(10, 0);  // publisher
+  ps.attach_client(11, 1);  // subscriber
+  ps.advertise(10, Filter().where("type", Op::kEq, "temperature"));
+  f.sched.run();
+  const std::uint64_t adv_id = ps.advertisements().back().id;
+
+  int got = 0;
+  ps.subscribe(11, Filter().where("type", Op::kEq, "humidity"),
+               [&](const Event&) { ++got; });
+  f.sched.run();
+  // No advertised overlap yet: the subscription stays at broker 1.
+  EXPECT_GE(ps.broker(1)->stats().subscriptions_suppressed, 1u);
+
+  // The publisher widens its declared event class to everything.
+  ps.re_advertise(10, adv_id, Filter().where("type", Op::kExists));
+  f.sched.run();
+  Event e("humidity");
+  e.set("percent", 60.0);
+  ps.publish(10, e);
+  f.sched.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Siena, UnsubscribeReforwardsOnlyUncoveredSubscriptions) {
+  // Covering-suppression regression for the unsubscribe re-forward
+  // path: removing a covering subscription must re-forward the widest
+  // still-covered subscription and keep narrower ones suppressed.
+  Fixture f;
+  SienaNetwork ps(f.net, {0, 1});
+  ps.connect_tree();
+  ps.attach_client(10, 0);
+  ps.attach_client(12, 1);
+  int wide = 0, mid = 0, narrow = 0;
+  const auto wide_id =
+      ps.subscribe(10, Filter().where("celsius", Op::kGt, 0.0), [&](const Event&) { ++wide; });
+  f.sched.run();
+  ps.subscribe(10, Filter().where("celsius", Op::kGt, 10.0), [&](const Event&) { ++mid; });
+  ps.subscribe(10, Filter().where("celsius", Op::kGt, 20.0), [&](const Event&) { ++narrow; });
+  f.sched.run();
+  EXPECT_EQ(ps.broker(1)->table_size(), 1u);  // only the widest forwarded
+
+  const auto forwarded_before = ps.total_broker_stats().subscriptions_forwarded;
+  ps.unsubscribe(10, wide_id);
+  f.sched.run();
+  // Exactly one re-forward: the mid subscription; the narrow one is
+  // covered by it and stays suppressed.
+  EXPECT_EQ(ps.broker(1)->table_size(), 1u);
+  EXPECT_EQ(ps.total_broker_stats().subscriptions_forwarded - forwarded_before, 1u);
+
+  ps.publish(12, temp_event(15.0));
+  f.sched.run();
+  EXPECT_EQ(wide, 0);
+  EXPECT_EQ(mid, 1);
+  EXPECT_EQ(narrow, 0);
+  ps.publish(12, temp_event(25.0));
+  f.sched.run();
+  EXPECT_EQ(mid, 2);
+  EXPECT_EQ(narrow, 1);
+}
+
+TEST(Siena, IndexedMatchingMatchesNaiveOracle) {
+  // The FilterIndex path and the linear-scan oracle must produce the
+  // same deliveries for the same workload, at a fraction of the filter
+  // evaluations.
+  auto run = [&](bool indexed, BrokerStats& stats) {
+    Fixture f(64);
+    std::vector<sim::HostId> brokers{0, 1, 2, 3, 4, 5, 6, 7};
+    SienaNetwork ps(f.net, brokers);
+    ps.connect_tree();
+    ps.set_indexed_matching(indexed);
+    std::vector<std::string> log;
+    for (int s = 0; s < 24; ++s) {
+      Filter filt;
+      switch (s % 3) {
+        case 0: filt.where("topic", Op::kEq, "t" + std::to_string(s % 6)); break;
+        case 1: filt.where("value", Op::kGt, static_cast<double>(s)); break;
+        default: filt.where("name", Op::kPrefix, "n" + std::to_string(s % 2)); break;
+      }
+      const sim::HostId host = static_cast<sim::HostId>(20 + s);
+      ps.attach_client(host, brokers[static_cast<std::size_t>(s) % brokers.size()]);
+      ps.subscribe(host, filt, [&log, s](const Event& e) {
+        log.push_back(std::to_string(s) + ":" + e.describe());
+      });
+    }
+    f.sched.run();
+    ps.attach_client(50, 3);
+    for (int i = 0; i < 30; ++i) {
+      Event e("reading");
+      e.set("topic", "t" + std::to_string(i % 6))
+          .set("value", static_cast<double>(i))
+          .set("name", "n" + std::to_string(i % 3));
+      ps.publish(50, e);
+      f.sched.run();
+    }
+    stats = ps.total_broker_stats();
+    return log;
+  };
+  BrokerStats indexed_stats, naive_stats;
+  const auto indexed_log = run(true, indexed_stats);
+  const auto naive_log = run(false, naive_stats);
+  EXPECT_EQ(indexed_log, naive_log);
+  EXPECT_FALSE(indexed_log.empty());
+  EXPECT_EQ(naive_stats.index_probes, 0u);
+  EXPECT_EQ(indexed_stats.match_tests, 0u);
+  EXPECT_LT(indexed_stats.index_probes, naive_stats.match_tests);
+}
+
 TEST(Siena, RejectsCyclicOverlayLinks) {
   Fixture f;
   SienaNetwork ps(f.net, {0, 1, 2});
@@ -233,6 +381,47 @@ TEST(Central, AllTrafficTouchesServer) {
   for (int i = 0; i < 5; ++i) ps.publish(11, temp_event(i));
   f.sched.run();
   EXPECT_EQ(ps.server_messages(), 6u);  // 1 sub + 5 pubs
+}
+
+TEST(Central, IndexedMatchingMatchesNaiveOracle) {
+  // Same workload under both server matching paths: identical
+  // deliveries, with the indexed path probing fewer candidates than
+  // the naive path tests.
+  auto run = [&](bool indexed, std::uint64_t& tests, std::uint64_t& probes) {
+    Fixture f(64);
+    CentralService ps(f.net, 0);
+    ps.set_indexed_matching(indexed);
+    std::vector<std::string> log;
+    for (int s = 0; s < 20; ++s) {
+      Filter filt;
+      if (s % 2 == 0) {
+        filt.where("topic", Op::kEq, "t" + std::to_string(s % 5));
+      } else {
+        filt.where("value", Op::kLe, static_cast<double>(s));
+      }
+      ps.subscribe(static_cast<sim::HostId>(10 + s), filt, [&log, s](const Event& e) {
+        log.push_back(std::to_string(s) + ":" + e.describe());
+      });
+    }
+    f.sched.run();
+    for (int i = 0; i < 25; ++i) {
+      Event e("reading");
+      e.set("topic", "t" + std::to_string(i % 5)).set("value", static_cast<double>(i));
+      ps.publish(40, e);
+      f.sched.run();
+    }
+    tests = ps.server_match_tests();
+    probes = ps.server_index_probes();
+    return log;
+  };
+  std::uint64_t indexed_tests = 0, indexed_probes = 0, naive_tests = 0, naive_probes = 0;
+  const auto indexed_log = run(true, indexed_tests, indexed_probes);
+  const auto naive_log = run(false, naive_tests, naive_probes);
+  EXPECT_EQ(indexed_log, naive_log);
+  EXPECT_FALSE(indexed_log.empty());
+  EXPECT_EQ(indexed_tests, 0u);
+  EXPECT_EQ(naive_probes, 0u);
+  EXPECT_LT(indexed_probes, naive_tests);
 }
 
 // --- FloodingNetwork ---

@@ -93,6 +93,34 @@ TEST(Scheduler, PeriodicTaskCanCancelItself) {
   EXPECT_EQ(fires, 3);
 }
 
+TEST(Scheduler, CancelReleasesPeriodicCallbackState) {
+  // Regression: every()'s tick closure used to hold a shared_ptr to
+  // itself, so a periodic task and everything it captured leaked for
+  // the life of the process even after cancel().
+  Scheduler s;
+  auto state = std::make_shared<int>(7);
+  std::weak_ptr<int> observer = state;
+  const TaskId id = s.every(10, [state] { (void)*state; });
+  state.reset();
+  s.run_until(35);
+  EXPECT_FALSE(observer.expired());  // still alive while scheduled
+  s.cancel(id);
+  EXPECT_TRUE(observer.expired());  // cancel frees the captured state
+}
+
+TEST(Scheduler, DestructionReleasesPeriodicCallbackState) {
+  auto state = std::make_shared<int>(7);
+  std::weak_ptr<int> observer = state;
+  {
+    Scheduler s;
+    s.every(10, [state] { (void)*state; });
+    state.reset();
+    s.run_until(35);
+    EXPECT_FALSE(observer.expired());
+  }
+  EXPECT_TRUE(observer.expired());  // scheduler teardown frees the task
+}
+
 TEST(Scheduler, PastTimesClampToNow) {
   Scheduler s;
   s.after(100, [&] {
@@ -192,6 +220,21 @@ TEST(Network, CountsBytesAndMessages) {
   EXPECT_EQ(f.net.stats().messages_delivered, 2u);
   EXPECT_EQ(f.net.stats().bytes_sent, 1000u);
   EXPECT_EQ(f.net.delivered_to(1), 2u);
+}
+
+TEST(Network, SourceDropsAreNotCountedAsTraffic) {
+  // A packet refused at the source (host down / id out of range) never
+  // reaches the wire: it must count as a drop, not as sent traffic,
+  // or bytes-per-delivery metrics skew under churn.
+  NetFixture f;
+  f.net.register_handler(1, "test", [](const Packet&) {});
+  f.net.set_host_up(0, false);
+  f.net.send(0, 1, "test", 1, 500);
+  f.net.send(42, 1, "test", 1, 500);  // src out of range
+  f.sched.run();
+  EXPECT_EQ(f.net.stats().messages_sent, 0u);
+  EXPECT_EQ(f.net.stats().bytes_sent, 0u);
+  EXPECT_EQ(f.net.stats().messages_dropped, 2u);
 }
 
 TEST(Network, NoHandlerCountsAsDrop) {
