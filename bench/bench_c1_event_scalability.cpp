@@ -9,6 +9,7 @@
 // latency.
 #include <functional>
 #include <memory>
+#include <utility>
 
 #include "bench_util.hpp"
 #include "sim/metrics.hpp"
@@ -28,6 +29,7 @@ struct RunResult {
   std::uint64_t hotspot = 0;  // max delivered to any single host
   double mean_latency_ms = 0;
   std::uint64_t delivered = 0;
+  sim::NetworkStats net;  // full counters, incl. fault/retry columns
 };
 
 struct Workload {
@@ -127,6 +129,7 @@ RunResult run(const Workload& w, const std::string& mode) {
   r.messages = net.stats().messages_sent;
   r.bytes = net.stats().bytes_sent;
   r.delivered = delivered;
+  r.net = net.stats();
   for (sim::HostId h = 0; h < hosts; ++h) {
     r.hotspot = std::max(r.hotspot, net.delivered_to(h));
   }
@@ -146,6 +149,7 @@ int main() {
     std::printf("\n%d subscribers, %d brokers, %d publishers x %d events:\n", w.subscribers,
                 w.brokers, w.publishers, w.events_per_publisher);
     bench::Table table({"service", "messages", "bytes", "hotspot", "lat ms", "delivered"});
+    std::vector<std::pair<std::string, sim::NetworkStats>> net_lines;
     for (const std::string mode : {"central", "flooding", "siena", "siena-adv", "scribe"}) {
       const auto r = run(w, mode);
       table.row({mode, bench::fmt("%llu", (unsigned long long)r.messages),
@@ -153,7 +157,9 @@ int main() {
                  bench::fmt("%llu", (unsigned long long)r.hotspot),
                  bench::fmt("%.1f", r.mean_latency_ms),
                  bench::fmt("%llu", (unsigned long long)r.delivered)});
+      net_lines.emplace_back(mode, r.net);
     }
+    for (const auto& [mode, stats] : net_lines) bench::net_line(mode, stats);
   }
 
   std::printf("\n(b) Subscription-state economics (64 brokers in a chain, 64 subscribers\n"

@@ -7,6 +7,7 @@
 // (fraction of reads that succeed), surviving copy counts and repair
 // traffic, with healing on vs off, across churn intensities.
 #include <memory>
+#include <utility>
 
 #include "bench_util.hpp"
 #include "sim/metrics.hpp"
@@ -23,6 +24,7 @@ struct RunResult {
   double mean_copies = 0;
   double availability = 0;   // successful reads / attempted
   std::uint64_t heal_pushes = 0;
+  sim::NetworkStats net;     // full counters, incl. fault/retry columns
 };
 
 RunResult run(SimDuration mean_departure, bool healing, int objects) {
@@ -85,6 +87,95 @@ RunResult run(SimDuration mean_departure, bool healing, int objects) {
   r.mean_copies = total / static_cast<double>(ids.size());
   r.availability = attempted > 0 ? static_cast<double>(succeeded) / attempted : 0;
   r.heal_pushes = store.stats().heal_pushes;
+  r.net = net.stats();
+  return r;
+}
+
+// Fault-sweep variant: fixed moderate churn with healing on, sweeping
+// the per-link drop probability, with replica repair either on the raw
+// datagram path or on the ack/retry reliable transport ("store.r" +
+// "ov.r" for overlay maintenance).  Reports read delivery rate and the
+// retry overhead the reliable path spends to keep copies alive.
+RunResult run_fault_sweep(double drop, bool reliable, int objects) {
+  sim::Scheduler sched;
+  auto topo = std::make_shared<sim::TransitStubTopology>(48, sim::TransitStubTopology::Params{});
+  sim::Network net(sched, topo);
+  overlay::OverlayNetwork::Params op;
+  op.maintenance_period = duration::seconds(5);
+  op.reliable_maintenance = reliable;
+  overlay::OverlayNetwork overlay(net, op);
+  std::vector<sim::HostId> hosts;
+  for (sim::HostId h = 0; h < 48; ++h) hosts.push_back(h);
+  overlay.build_ring(hosts);
+
+  storage::ObjectStore::Params sp;
+  sp.replicas = 5;
+  sp.healing_period = duration::seconds(10);
+  sp.promiscuous_cache = false;
+  sp.reliable_repair = reliable;
+  storage::ObjectStore store(net, overlay, sp);
+
+  Rng rng(23);
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < objects; ++i) {
+    ids.push_back(store.put(0, to_bytes("payload-" + std::to_string(i))));
+  }
+  sched.run_for(duration::seconds(5));
+  net.reset_stats();
+
+  sim::LinkFaults faults;
+  faults.drop = drop;
+  faults.duplicate = drop > 0 ? 0.02 : 0.0;
+  faults.seed = 0xFA17;
+  net.set_link_faults(faults);
+
+  sim::ChurnInjector::Params cp;
+  cp.mean_departure_interval = duration::seconds(30);
+  // Longer than the run: crashed hosts stay down, so lost copies only
+  // come back through healing pushes — the path under test.
+  cp.mean_downtime = duration::seconds(600);
+  cp.graceful_fraction = 0.0;
+  cp.seed = 7;
+  sim::ChurnInjector churn(net, cp);
+  churn.start({0});
+
+  // Copy counts are sampled every round *while* faults and churn are
+  // active (an end-of-run snapshot converges in both arms, because the
+  // healing sweep re-pushes every period until the copy lands): the
+  // time-averaged count shows how long objects sit under-replicated.
+  int attempted = 0, succeeded = 0;
+  double copies_accum = 0;
+  int copies_samples = 0, min_copies = 1 << 20;
+  for (int round = 0; round < 10; ++round) {
+    // Sample at sub-healing-period granularity (5 s vs the 10 s sweep),
+    // otherwise the under-replication windows fall between samples.
+    for (int step = 0; step < 6; ++step) {
+      sched.run_for(duration::seconds(5));
+      for (const auto& id : ids) {
+        const int copies = store.live_replicas(id);
+        copies_accum += copies;
+        ++copies_samples;
+        min_copies = std::min(min_copies, copies);
+      }
+    }
+    for (int probe = 0; probe < 5; ++probe) {
+      sim::HostId reader = static_cast<sim::HostId>(rng.below(48));
+      while (!net.host_up(reader)) reader = static_cast<sim::HostId>(rng.below(48));
+      ++attempted;
+      store.get(reader, ids[rng.below(ids.size())], [&](Result<Bytes> r) {
+        if (r.is_ok()) ++succeeded;
+      });
+    }
+  }
+  churn.stop();
+  sched.run_for(duration::seconds(60));
+
+  RunResult r;
+  r.min_copies = min_copies;
+  r.mean_copies = copies_accum / static_cast<double>(copies_samples);
+  r.availability = attempted > 0 ? static_cast<double>(succeeded) / attempted : 0;
+  r.heal_pushes = store.stats().heal_pushes;
+  r.net = net.stats();
   return r;
 }
 
@@ -95,6 +186,7 @@ int main() {
 
   bench::Table table({"departure s", "healing", "availability", "copies mean", "copies min",
                       "heal pushes"});
+  std::vector<std::pair<std::string, sim::NetworkStats>> net_lines;
   for (SimDuration mean_departure : {duration::seconds(60), duration::seconds(15)}) {
     for (bool healing : {false, true}) {
       const auto r = run(mean_departure, healing, 25);
@@ -102,7 +194,38 @@ int main() {
                  healing ? "on" : "off", bench::fmt("%.1f%%", r.availability * 100),
                  bench::fmt("%.1f", r.mean_copies), bench::fmt("%.0f", r.min_copies),
                  bench::fmt("%llu", (unsigned long long)r.heal_pushes)});
+      net_lines.emplace_back(bench::fmt("dep=%llds healing=%s",
+                                        (long long)(mean_departure / 1000000),
+                                        healing ? "on" : "off"),
+                             r.net);
     }
+  }
+  for (const auto& [label, stats] : net_lines) bench::net_line(label, stats);
+
+  std::printf("\n(b) Fault sweep — per-link drop probability vs read delivery rate,\n"
+              "    healing on, repair traffic raw vs reliable (ack/retry):\n");
+  {
+    bench::Table sweep({"drop", "reliable", "availability", "copies mean", "copies min",
+                        "heal pushes", "retransmits", "fault drops"});
+    for (double drop : {0.0, 0.10, 0.20}) {
+      for (bool reliable : {false, true}) {
+        const auto r = run_fault_sweep(drop, reliable, 25);
+        sweep.row({bench::fmt("%.0f%%", drop * 100), reliable ? "on" : "off",
+                   bench::fmt("%.1f%%", r.availability * 100),
+                   bench::fmt("%.1f", r.mean_copies),
+                   bench::fmt("%.0f", r.min_copies),
+                   bench::fmt("%llu", (unsigned long long)r.heal_pushes),
+                   bench::fmt("%llu", (unsigned long long)r.net.retransmits),
+                   bench::fmt("%llu", (unsigned long long)r.net.dropped_by_fault)});
+      }
+    }
+    std::printf("(copies are time-averaged while faults are live.  Raw repair loses\n"
+                " pushes to the lossy links and waits a full healing period to retry,\n"
+                " so objects sit under-replicated slightly longer; the periodic sweep\n"
+                " makes even the raw path self-correcting, which is why the copy gap\n"
+                " stays small.  The big lever is overlay maintenance: the reliable arm\n"
+                " keeps routing tables correct under loss, so raw GET/reply reads --\n"
+                " raw in both arms -- still find live replica holders.)\n");
   }
 
   std::printf("\nShape check: without healing, copy counts decay under churn and\n"

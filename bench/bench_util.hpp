@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/network.hpp"
+
 namespace aa::bench {
 
 inline void headline(const std::string& id, const std::string& claim) {
@@ -40,6 +42,18 @@ class Table {
   static constexpr int kWidth = 14;
   std::vector<std::string> columns_;
 };
+
+/// One-line traffic summary from the network counters — includes the
+/// fault-model columns (fault drops, duplicates, retransmits) so runs
+/// with link faults show retry overhead next to the raw traffic.
+inline void net_line(const std::string& label, const sim::NetworkStats& s) {
+  std::printf("  net[%s]: sent=%llu delivered=%llu bytes=%llu dropped=%llu "
+              "fault-dropped=%llu duplicated=%llu retransmits=%llu\n",
+              label.c_str(), (unsigned long long)s.messages_sent,
+              (unsigned long long)s.messages_delivered, (unsigned long long)s.bytes_sent,
+              (unsigned long long)s.messages_dropped, (unsigned long long)s.dropped_by_fault,
+              (unsigned long long)s.duplicated, (unsigned long long)s.retransmits);
+}
 
 inline std::string fmt(const char* format, ...) {
   char buffer[128];

@@ -10,6 +10,10 @@ constexpr int kMaxHops = 100;  // safety TTL against transient routing loops
 
 OverlayNetwork::OverlayNetwork(sim::Network& net, Params params)
     : net_(net), params_(params) {
+  if (params_.reliable_maintenance) {
+    transport_ = std::make_unique<sim::ReliableTransport>(
+        net_, std::string(kOverlayProto) + ".r", params_.reliable);
+  }
   if (params_.maintenance_period > 0) {
     maintenance_task_ =
         net_.scheduler().every(params_.maintenance_period, [this]() { maintenance_tick(); });
@@ -25,7 +29,20 @@ void OverlayNetwork::seed(sim::HostId host, NodeId id) {
   auto node = std::make_unique<OverlayNode>(net_, NodeRef{id, host}, params_.proximity_selection);
   net_.register_handler(host, kOverlayProto,
                         [this, host](const sim::Packet& p) { on_message(host, p); });
+  if (transport_ != nullptr) {
+    transport_->register_handler(host,
+                                 [this, host](const sim::Packet& p) { on_message(host, p); });
+  }
   nodes_.emplace(host, std::move(node));
+}
+
+void OverlayNetwork::send_maintenance(sim::HostId src, sim::HostId dst, std::any body,
+                                      std::size_t wire_size) {
+  if (transport_ != nullptr) {
+    transport_->send(sim::Packet{src, dst, transport_->protocol(), std::move(body), wire_size});
+  } else {
+    net_.send(sim::Packet{src, dst, kOverlayProto, std::move(body), wire_size});
+  }
 }
 
 void OverlayNetwork::join(sim::HostId host, NodeId id, sim::HostId bootstrap) {
@@ -83,8 +100,8 @@ void OverlayNetwork::on_message(sim::HostId host, const sim::Packet& packet) {
     // Announce ourselves to everything we just learned about, so their
     // tables and leaf sets incorporate us.
     for (const NodeRef& peer : node.known_peers()) {
-      net_.send(node.host(), peer.host, kOverlayProto, AnnounceMsg{node.self()},
-                ref_wire_size(1));
+      send_maintenance(node.host(), peer.host, std::any(AnnounceMsg{node.self()}),
+                       ref_wire_size(1));
     }
   } else if (const auto* ann = sim::packet_body<AnnounceMsg>(packet)) {
     node.consider(ann->who);
@@ -175,8 +192,8 @@ void OverlayNetwork::maintenance_tick() {
         node->remove(peer.id);
         continue;
       }
-      net_.send(host, peer.host, kOverlayProto, LeafGossip{node->self(), leaf},
-                ref_wire_size(leaf.size() + 1));
+      send_maintenance(host, peer.host, std::any(LeafGossip{node->self(), leaf}),
+                       ref_wire_size(leaf.size() + 1));
     }
   }
 }

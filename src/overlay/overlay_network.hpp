@@ -14,6 +14,7 @@
 
 #include "overlay/node.hpp"
 #include "sim/metrics.hpp"
+#include "sim/reliable.hpp"
 
 namespace aa::overlay {
 
@@ -29,6 +30,13 @@ class OverlayNetwork {
     bool proximity_selection = true;
     /// Leaf-set gossip period; 0 disables maintenance.
     SimDuration maintenance_period = duration::seconds(30);
+    /// Routes routing-table maintenance traffic (leaf-set gossip and
+    /// join announcements) through an ack/retry reliable transport
+    /// (protocol "ov.r"), so table repair converges even on lossy or
+    /// temporarily partitioned links.  Routed application messages stay
+    /// raw.  Off by default.
+    bool reliable_maintenance = false;
+    sim::ReliableParams reliable;
   };
 
   OverlayNetwork(sim::Network& net, Params params);
@@ -92,9 +100,14 @@ class OverlayNetwork {
   void handle_route(OverlayNode& node, RouteMsg msg);
   void handle_join_request(OverlayNode& node, JoinRequest req);
   void maintenance_tick();
+  /// Maintenance-plane send: reliable transport when enabled, raw
+  /// kOverlayProto datagram otherwise.
+  void send_maintenance(sim::HostId src, sim::HostId dst, std::any body,
+                        std::size_t wire_size);
 
   sim::Network& net_;
   Params params_;
+  std::unique_ptr<sim::ReliableTransport> transport_;
   std::map<sim::HostId, std::unique_ptr<OverlayNode>> nodes_;
   std::map<std::string, std::map<sim::HostId, AppHandler>> apps_;
   std::map<std::string, std::map<sim::HostId, InterceptHandler>> intercepts_;

@@ -1,5 +1,7 @@
 #include "pubsub/broker.hpp"
 
+#include "sim/reliable.hpp"
+
 namespace aa::pubsub {
 
 Broker::Broker(sim::Network& net, sim::HostId host) : net_(net), host_(host) {}
@@ -63,11 +65,20 @@ bool Broker::covered_at(sim::HostId neighbour, const event::Filter& filter,
   return false;
 }
 
+void Broker::send_broker(sim::HostId neighbour, std::any body, std::size_t wire_size) {
+  if (transport_ != nullptr) {
+    transport_->send(sim::Packet{host_, neighbour, transport_->protocol(), std::move(body),
+                                 wire_size});
+  } else {
+    net_.send(sim::Packet{host_, neighbour, kBrokerProto, std::move(body), wire_size});
+  }
+}
+
 void Broker::send_subscribe(sim::HostId neighbour, std::uint64_t id,
                             const event::Filter& filter) {
   SubscribeMsg msg{id, filter};
   const std::size_t size = subscribe_wire_size(msg);
-  net_.send(host_, neighbour, kBrokerProto, std::move(msg), size);
+  send_broker(neighbour, std::any(std::move(msg)), size);
   ++stats_.subscriptions_forwarded;
 }
 
@@ -115,8 +126,7 @@ void Broker::handle_advertise(std::uint64_t id, const event::Filter& filter, Ifa
   // Flood the advertisement away from its source.
   for (sim::HostId n : neighbours_) {
     if (source.kind == Iface::Kind::kBroker && source.host == n) continue;
-    AdvertiseMsg msg{id, filter};
-    net_.send(host_, n, kBrokerProto, std::move(msg), filter_wire_size(filter) + 8);
+    send_broker(n, std::any(AdvertiseMsg{id, filter}), filter_wire_size(filter) + 8);
   }
   if (!advertisement_forwarding_) return;
   // A new advertisement may unlock pending subscriptions toward its
@@ -148,7 +158,7 @@ void Broker::handle_unsubscribe(std::uint64_t id, Iface source) {
     auto fwd = forwarded_.find(n);
     if (fwd == forwarded_.end() || !fwd->second.contains(id)) continue;
     fwd->second.erase(id);
-    net_.send(host_, n, kBrokerProto, UnsubscribeMsg{id}, 16);
+    send_broker(n, std::any(UnsubscribeMsg{id}), 16);
 
     // The removed subscription may have been covering others: re-forward
     // any table entry now uncovered in direction n.
@@ -190,7 +200,7 @@ void Broker::route_publish(const event::Event& e, std::optional<sim::HostId> arr
   }
   const std::size_t size = e.wire_size();
   for (sim::HostId n : forward_to) {
-    net_.send(host_, n, kBrokerProto, PublishMsg{e}, size);
+    send_broker(n, std::any(PublishMsg{e}), size);
   }
   for (sim::HostId c : deliver_to) {
     net_.send(host_, c, kClientProto, DeliverMsg{e}, size);

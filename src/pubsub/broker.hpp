@@ -26,6 +26,10 @@
 #include "pubsub/messages.hpp"
 #include "sim/network.hpp"
 
+namespace aa::sim {
+class ReliableTransport;
+}
+
 namespace aa::pubsub {
 
 struct BrokerStats {
@@ -59,6 +63,13 @@ class Broker {
   /// stats().match_tests).
   void set_indexed_matching(bool on) { indexed_matching_ = on; }
   bool indexed_matching() const { return indexed_matching_; }
+
+  /// Routes all broker-to-broker traffic through `transport` (ack +
+  /// retry, sim/reliable.hpp) instead of raw datagrams, so forwarding
+  /// survives link faults and partitions.  Client-facing sends are
+  /// unaffected.  Wired up by SienaNetwork::enable_reliable_transport();
+  /// nullptr restores the raw path.
+  void set_transport(sim::ReliableTransport* transport) { transport_ = transport; }
 
   /// Declares a neighbour broker (call on both endpoints; the overlay
   /// must remain acyclic — SienaNetwork enforces a tree).
@@ -110,8 +121,13 @@ class Broker {
 
   void send_subscribe(sim::HostId neighbour, std::uint64_t id, const event::Filter& filter);
 
+  /// Broker-to-broker send: reliable transport when configured, raw
+  /// kBrokerProto datagram otherwise.
+  void send_broker(sim::HostId neighbour, std::any body, std::size_t wire_size);
+
   sim::Network& net_;
   sim::HostId host_;
+  sim::ReliableTransport* transport_ = nullptr;
   bool advertisement_forwarding_ = false;
   bool indexed_matching_ = true;
   std::set<sim::HostId> neighbours_;

@@ -135,6 +135,17 @@ void SienaNetwork::set_indexed_matching(bool on) {
   for (const auto& [h, broker] : brokers_) broker->set_indexed_matching(on);
 }
 
+void SienaNetwork::enable_reliable_transport(const sim::ReliableParams& params) {
+  if (transport_ != nullptr) return;
+  transport_ = std::make_unique<sim::ReliableTransport>(
+      net_, std::string(kBrokerProto) + ".r", params);
+  for (const auto& [h, broker] : brokers_) {
+    Broker* raw = broker.get();
+    transport_->register_handler(h, [raw](const sim::Packet& p) { raw->on_message(p); });
+    raw->set_transport(transport_.get());
+  }
+}
+
 void SienaNetwork::advertise(sim::HostId client, const event::Filter& filter) {
   const std::uint64_t id = next_adv_id_++;
   advertisements_.push_back(

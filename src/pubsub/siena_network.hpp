@@ -11,6 +11,7 @@
 
 #include "pubsub/broker.hpp"
 #include "pubsub/event_service.hpp"
+#include "sim/reliable.hpp"
 
 namespace aa::pubsub {
 
@@ -42,6 +43,16 @@ class SienaNetwork final : public EventService {
   /// broker and for local client dispatch.  The naive path is the
   /// correctness oracle; both deliver identical event sets.
   void set_indexed_matching(bool on);
+
+  /// Routes broker-to-broker forwarding through an ack/retry reliable
+  /// transport (protocol "ps.broker.r", sim/reliable.hpp), so routing
+  /// state and publications survive link faults and partitions (lost
+  /// messages are retransmitted after heal).  Client<->broker hops stay
+  /// raw datagrams — co-locate clients with their access broker when a
+  /// workload needs end-to-end reliability under faults.  Off by
+  /// default, so benches on a clean network are unchanged.
+  void enable_reliable_transport(const sim::ReliableParams& params = {});
+  sim::ReliableTransport* reliable_transport() { return transport_.get(); }
 
   /// Attaches a client to an access broker.  Must precede subscribe /
   /// publish calls for that client.  Re-attaching an already-attached
@@ -94,6 +105,7 @@ class SienaNetwork final : public EventService {
   sim::Network& net_;
   std::vector<sim::HostId> broker_hosts_;
   bool indexed_matching_ = true;
+  std::unique_ptr<sim::ReliableTransport> transport_;
   std::map<sim::HostId, std::unique_ptr<Broker>> brokers_;
   std::map<sim::HostId, ClientState> clients_;
   std::vector<event::Advertisement> advertisements_;

@@ -47,6 +47,7 @@ void ChurnInjector::schedule_next_departure() {
 
 void ChurnInjector::kill(HostId host, bool graceful) {
   if (!net_.host_up(host)) return;
+  if (std::find(protected_.begin(), protected_.end(), host) != protected_.end()) return;
   ++departures_;
   if (graceful) {
     // Warning precedes the shutdown, giving subscribers a chance to act

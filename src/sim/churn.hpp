@@ -42,7 +42,9 @@ class ChurnInjector {
 
   void add_observer(Observer obs) { observers_.push_back(std::move(obs)); }
 
-  /// Takes one specific host down immediately (for directed experiments).
+  /// Takes one specific host down immediately (for directed
+  /// experiments).  Hosts protected via start() are never taken down,
+  /// by kill() or by random departures.
   void kill(HostId host, bool graceful);
   /// Brings a host back immediately.
   void revive(HostId host);

@@ -1,5 +1,7 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
+
 namespace aa::sim {
 
 Network::Network(Scheduler& sched, std::shared_ptr<const Topology> topo,
@@ -8,6 +10,7 @@ Network::Network(Scheduler& sched, std::shared_ptr<const Topology> topo,
       topo_(std::move(topo)),
       bandwidth_bytes_per_us_(bandwidth_bytes_per_us),
       up_(topo_->size(), true),
+      incarnation_(topo_->size(), 0),
       delivered_per_host_(topo_->size(), 0) {}
 
 void Network::register_handler(HostId host, const std::string& protocol, Handler handler) {
@@ -28,6 +31,54 @@ void Network::clear_handlers(HostId host) {
   }
 }
 
+void Network::set_link_faults(const LinkFaults& faults) {
+  default_faults_ = faults;
+  fault_rng_ = Rng(faults.seed);
+}
+
+void Network::set_link_faults(HostId a, HostId b, const LinkFaults& faults) {
+  link_fault_overrides_[{a, b}] = faults;
+  link_fault_overrides_[{b, a}] = faults;
+}
+
+void Network::clear_link_faults() {
+  default_faults_ = LinkFaults{};
+  link_fault_overrides_.clear();
+}
+
+const LinkFaults* Network::faults_for(HostId src, HostId dst) const {
+  auto it = link_fault_overrides_.find({src, dst});
+  if (it != link_fault_overrides_.end()) {
+    return it->second.any() ? &it->second : nullptr;
+  }
+  return default_faults_.any() ? &default_faults_ : nullptr;
+}
+
+void Network::partition(const std::string& name, const std::vector<HostId>& side_a,
+                        const std::vector<HostId>& side_b) {
+  heal(name);
+  Partition p;
+  p.name = name;
+  p.a.insert(side_a.begin(), side_a.end());
+  p.b.insert(side_b.begin(), side_b.end());
+  partitions_.push_back(std::move(p));
+}
+
+void Network::heal(const std::string& name) {
+  std::erase_if(partitions_, [&](const Partition& p) { return p.name == name; });
+}
+
+void Network::heal() { partitions_.clear(); }
+
+bool Network::partitioned(HostId a, HostId b) const {
+  for (const Partition& p : partitions_) {
+    if ((p.a.contains(a) && p.b.contains(b)) || (p.a.contains(b) && p.b.contains(a))) {
+      return true;
+    }
+  }
+  return false;
+}
+
 void Network::send(Packet packet) {
   // A packet refused at the source (host down, id out of range) never
   // reaches the wire: count it only as a drop, or bytes-per-delivery
@@ -38,19 +89,50 @@ void Network::send(Packet packet) {
   }
   ++stats_.messages_sent;
   stats_.bytes_sent += packet.wire_size;
+  const bool loopback = packet.src == packet.dst;
+  if (!loopback && partitioned(packet.src, packet.dst)) {
+    ++stats_.dropped_by_fault;
+    return;
+  }
+  const LinkFaults* faults = loopback ? nullptr : faults_for(packet.src, packet.dst);
+  if (faults != nullptr && faults->drop > 0 && fault_rng_.chance(faults->drop)) {
+    ++stats_.dropped_by_fault;
+    return;
+  }
   const SimDuration latency = topo_->latency(packet.src, packet.dst);
   const SimDuration tx =
       static_cast<SimDuration>(static_cast<double>(packet.wire_size) / bandwidth_bytes_per_us_);
-  // FIFO per link: arrival is after both this message's propagation +
-  // transmission and every earlier message on the same (src,dst) link.
-  SimTime& clear_at = link_clear_at_[{packet.src, packet.dst}];
-  const SimTime arrival = std::max(sched_.now() + latency, clear_at) + tx;
-  clear_at = arrival;
-  sched_.at(arrival, [this, p = std::move(packet)]() { deliver(p); });
+  auto jitter_draw = [&]() -> SimDuration {
+    if (faults == nullptr || faults->jitter <= 0) return 0;
+    return static_cast<SimDuration>(
+        fault_rng_.below(static_cast<std::uint64_t>(faults->jitter) + 1));
+  };
+  SimTime arrival;
+  if (faults != nullptr && faults->reorder > 0 && fault_rng_.chance(faults->reorder)) {
+    // Reordered: bypass the link FIFO entirely and take extra jitter,
+    // so this packet can overtake (or be overtaken by) its neighbours.
+    arrival = sched_.now() + latency + tx + jitter_draw();
+  } else {
+    // FIFO per link: arrival is after both this message's propagation +
+    // transmission and every earlier message on the same (src,dst) link.
+    SimTime& clear_at = link_clear_at_[{packet.src, packet.dst}];
+    arrival = std::max(sched_.now() + latency, clear_at) + tx;
+    clear_at = arrival;
+  }
+  const std::uint32_t incarnation = incarnation_[packet.dst];
+  if (faults != nullptr && faults->duplicate > 0 && fault_rng_.chance(faults->duplicate)) {
+    ++stats_.duplicated;
+    Packet copy = packet;
+    sched_.at(arrival + 1 + jitter_draw(),
+              [this, p = std::move(copy), incarnation]() { deliver(p, incarnation); });
+  }
+  sched_.at(arrival, [this, p = std::move(packet), incarnation]() { deliver(p, incarnation); });
 }
 
-void Network::deliver(const Packet& packet) {
-  if (!up_[packet.dst]) {
+void Network::deliver(const Packet& packet, std::uint32_t incarnation) {
+  if (!up_[packet.dst] || incarnation_[packet.dst] != incarnation) {
+    // Down, or it crashed after the packet was sent: the reincarnated
+    // host is a fresh endpoint and must not receive stale traffic.
     ++stats_.messages_dropped;
     return;
   }
@@ -65,7 +147,9 @@ void Network::deliver(const Packet& packet) {
 }
 
 void Network::set_host_up(HostId host, bool up) {
-  if (host < up_.size()) up_[host] = up;
+  if (host >= up_.size()) return;
+  if (up_[host] && !up) ++incarnation_[host];
+  up_[host] = up;
 }
 
 bool Network::host_up(HostId host) const { return host < up_.size() && up_[host]; }

@@ -5,6 +5,16 @@
 // cost.  Hosts can be taken down and brought back (churn), and the
 // network keeps global traffic counters the benchmarks report.
 //
+// Link-level fault injection (§4.4: nodes "may disappear ... without
+// warning" — and so may the links between them): every non-loopback
+// link can be given a fault model — per-packet drop probability,
+// duplication, reordering (a reordered packet bypasses the link FIFO
+// and takes extra latency jitter, so it can overtake later traffic) —
+// and named bidirectional partitions cut whole host groups off from
+// each other until healed.  All fault decisions draw from one seeded
+// Rng, so a (workload seed, fault seed) pair reproduces a run exactly.
+// The ack/retry layer that survives these faults is sim/reliable.hpp.
+//
 // Packet bodies travel as std::any carrying protocol-specific structs;
 // `wire_size` declares the number of bytes charged to the network, so
 // traffic accounting matches what a real serialisation would cost
@@ -19,9 +29,11 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/topology.hpp"
 
@@ -48,6 +60,29 @@ struct NetworkStats {
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;  // host down or no handler
   std::uint64_t bytes_sent = 0;
+  std::uint64_t duplicated = 0;        // link fault: packet delivered twice
+  std::uint64_t retransmits = 0;       // reported by reliable transports
+  std::uint64_t dropped_by_fault = 0;  // link drop faults + partitions
+};
+
+/// Per-link fault model.  Loopback (src == dst) traffic is exempt: a
+/// host never loses messages to itself.
+struct LinkFaults {
+  /// Per-packet loss probability.
+  double drop = 0.0;
+  /// Probability a packet is delivered twice (the copy arrives after
+  /// extra jitter).
+  double duplicate = 0.0;
+  /// Probability a packet bypasses the link FIFO and takes extra
+  /// latency jitter — it may overtake packets sent after it or be
+  /// overtaken by them (UDP-style reordering).
+  double reorder = 0.0;
+  /// Maximum extra latency for reordered packets and duplicate copies.
+  SimDuration jitter = 5000;  // 5 ms
+  /// Seed for the shared fault Rng (applied by set_link_faults(faults)).
+  std::uint64_t seed = 0x5EED;
+
+  bool any() const { return drop > 0 || duplicate > 0 || reorder > 0; }
 };
 
 class Network {
@@ -71,7 +106,9 @@ class Network {
 
   /// Sends asynchronously; delivery happens after latency(src,dst) plus
   /// wire_size/bandwidth.  Messages in flight to a host that dies before
-  /// delivery are dropped, as on a real network.
+  /// delivery are dropped, as on a real network — including when the
+  /// host has already rejoined by the delivery time (the reincarnated
+  /// host is a fresh endpoint; see the incarnation counter).
   void send(Packet packet);
 
   /// Convenience: build and send a packet.
@@ -80,6 +117,45 @@ class Network {
             std::size_t wire_size) {
     send(Packet{src, dst, protocol, std::any(std::move(body)), wire_size});
   }
+
+  // --- Link fault injection ---
+
+  /// Installs `faults` as the default fault model for every
+  /// non-loopback link and reseeds the fault Rng from `faults.seed`.
+  /// Pass a default-constructed LinkFaults to turn faults off again.
+  void set_link_faults(const LinkFaults& faults);
+
+  /// Per-link override, applied to both directions of (a, b); wins over
+  /// the network-wide default (so an override with zero probabilities
+  /// makes one link reliable inside a lossy network, and a
+  /// `drop = 1.0` override kills one link).  The override's `seed` is
+  /// ignored — all fault decisions share one Rng.
+  void set_link_faults(HostId a, HostId b, const LinkFaults& faults);
+
+  /// Removes every fault model (default and per-link overrides).
+  /// Active partitions are unaffected; heal them separately.
+  void clear_link_faults();
+
+  /// Cuts every link between `side_a` and `side_b`, in both directions,
+  /// under `name`.  Packets sent across an active partition are dropped
+  /// at the wire (counted in stats().dropped_by_fault); packets already
+  /// in flight when the cut happens still arrive, as on a real network.
+  /// Re-using a name replaces that partition.
+  void partition(const std::string& name, const std::vector<HostId>& side_a,
+                 const std::vector<HostId>& side_b);
+
+  /// Heals one named partition (no-op if unknown).
+  void heal(const std::string& name);
+
+  /// Heals every active partition.
+  void heal();
+
+  /// True when an active partition separates a from b.
+  bool partitioned(HostId a, HostId b) const;
+
+  /// Reliable transports report each retransmission here so benches can
+  /// show retry overhead next to the raw traffic counters.
+  void note_retransmit() { ++stats_.retransmits; }
 
   void set_host_up(HostId host, bool up);
   bool host_up(HostId host) const;
@@ -92,7 +168,9 @@ class Network {
   std::uint64_t delivered_to(HostId host) const;
 
  private:
-  void deliver(const Packet& packet);
+  void deliver(const Packet& packet, std::uint32_t incarnation);
+  /// Fault model in effect for src -> dst, or nullptr for a clean link.
+  const LinkFaults* faults_for(HostId src, HostId dst) const;
 
   Scheduler& sched_;
   std::shared_ptr<const Topology> topo_;
@@ -102,8 +180,21 @@ class Network {
   // never overtake a large one on the same link (TCP-like ordering).
   std::map<std::pair<HostId, HostId>, SimTime> link_clear_at_;
   std::vector<bool> up_;
+  // Bumped each time a host goes down: packets capture the destination
+  // incarnation at send time, so traffic in flight to a host that
+  // crashes is lost even if the host rejoins before the delivery time.
+  std::vector<std::uint32_t> incarnation_;
   std::vector<std::uint64_t> delivered_per_host_;
   std::unordered_map<std::string, std::vector<Handler>> handlers_;  // protocol -> per-host
+  LinkFaults default_faults_{};  // zero probabilities: clean network
+  std::map<std::pair<HostId, HostId>, LinkFaults> link_fault_overrides_;
+  Rng fault_rng_{0x5EED};
+  struct Partition {
+    std::string name;
+    std::unordered_set<HostId> a;
+    std::unordered_set<HostId> b;
+  };
+  std::vector<Partition> partitions_;
   NetworkStats stats_;
 };
 

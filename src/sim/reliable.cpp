@@ -1,0 +1,104 @@
+#include "sim/reliable.hpp"
+
+#include <algorithm>
+
+namespace aa::sim {
+
+ReliableTransport::ReliableTransport(Network& net, std::string protocol, ReliableParams params)
+    : net_(net),
+      protocol_(std::move(protocol)),
+      params_(params),
+      handlers_(net.host_count()),
+      net_registered_(net.host_count(), 0) {}
+
+ReliableTransport::~ReliableTransport() {
+  for (auto& [seq, pending] : pending_) {
+    if (pending.timer != kInvalidTask) net_.scheduler().cancel(pending.timer);
+  }
+  for (HostId h = 0; h < net_registered_.size(); ++h) {
+    if (net_registered_[h]) net_.unregister_handler(h, protocol_);
+  }
+}
+
+void ReliableTransport::register_handler(HostId host, Network::Handler handler) {
+  if (host >= handlers_.size()) return;
+  handlers_[host] = std::move(handler);
+  ensure_net_handler(host);
+}
+
+void ReliableTransport::unregister_handler(HostId host) {
+  // The network-level handler stays: the host may still send and must
+  // keep receiving acks.
+  if (host < handlers_.size()) handlers_[host] = nullptr;
+}
+
+void ReliableTransport::ensure_net_handler(HostId host) {
+  if (host >= net_registered_.size() || net_registered_[host]) return;
+  net_registered_[host] = 1;
+  net_.register_handler(host, protocol_,
+                        [this, host](const Packet& p) { on_network(host, p); });
+}
+
+void ReliableTransport::send(Packet packet) {
+  packet.protocol = protocol_;
+  ensure_net_handler(packet.src);
+  const std::uint64_t seq = next_seq_++;
+  Pending pending;
+  pending.packet = std::move(packet);
+  pending.rto = params_.initial_rto;
+  pending_.emplace(seq, std::move(pending));
+  ++stats_.data_sent;
+  transmit(seq);
+}
+
+void ReliableTransport::transmit(std::uint64_t seq) {
+  Pending& pending = pending_.at(seq);
+  const Packet& p = pending.packet;
+  net_.send(Packet{p.src, p.dst, protocol_, std::any(DataMsg{seq, p.body, p.wire_size}),
+                   p.wire_size + kHeaderBytes});
+  pending.timer = net_.scheduler().after(pending.rto, [this, seq]() { on_timeout(seq); });
+}
+
+void ReliableTransport::on_timeout(std::uint64_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  pending.timer = kInvalidTask;
+  if (pending.retries >= params_.max_retries) {
+    ++stats_.give_ups;
+    Packet original = std::move(pending.packet);
+    pending_.erase(it);
+    if (give_up_) give_up_(original);
+    return;
+  }
+  ++pending.retries;
+  ++stats_.retransmits;
+  net_.note_retransmit();
+  pending.rto = std::min(static_cast<SimDuration>(static_cast<double>(pending.rto) *
+                                                  params_.backoff),
+                         params_.max_rto);
+  transmit(seq);
+}
+
+void ReliableTransport::on_network(HostId host, const Packet& packet) {
+  if (const auto* data = packet_body<DataMsg>(packet)) {
+    // Ack every receipt — a duplicate usually means our previous ack
+    // was lost, and only a fresh ack stops the sender's retry clock.
+    net_.send(host, packet.src, protocol_, AckMsg{data->seq}, kHeaderBytes);
+    if (!delivered_.insert(data->seq).second) {
+      ++stats_.duplicates_suppressed;
+      return;
+    }
+    if (host < handlers_.size() && handlers_[host]) {
+      handlers_[host](Packet{packet.src, host, protocol_, data->body, data->body_wire});
+    }
+  } else if (const auto* ack = packet_body<AckMsg>(packet)) {
+    auto it = pending_.find(ack->seq);
+    if (it == pending_.end()) return;  // stale ack for a retransmitted copy
+    if (it->second.timer != kInvalidTask) net_.scheduler().cancel(it->second.timer);
+    pending_.erase(it);
+    ++stats_.acked;
+  }
+}
+
+}  // namespace aa::sim

@@ -60,6 +60,10 @@ struct FragReplyMsg {
 
 ObjectStore::ObjectStore(sim::Network& net, overlay::OverlayNetwork& overlay, Params params)
     : net_(net), overlay_(overlay), params_(params) {
+  if (params_.reliable_repair) {
+    repair_transport_ =
+        std::make_unique<sim::ReliableTransport>(net_, "store.r", params_.reliable);
+  }
   if (params_.erasure) {
     coder_ = std::make_unique<ErasureCoder>(params_.ec_data, params_.ec_parity);
   }
@@ -84,6 +88,10 @@ void ObjectStore::ensure_host(sim::HostId host) {
   nodes_.emplace(host, std::make_unique<StoreNode>(params_.cache_capacity));
   net_.register_handler(host, kDirectProto,
                         [this, host](const sim::Packet& p) { on_direct(host, p); });
+  if (repair_transport_ != nullptr) {
+    repair_transport_->register_handler(
+        host, [this, host](const sim::Packet& p) { on_direct(host, p); });
+  }
   overlay_.register_app(kStoreApp, host,
                         [this, host](const ObjectId& key, const Bytes& payload,
                                      const overlay::RouteInfo& info) {
@@ -176,8 +184,8 @@ void ObjectStore::replicate_to(sim::HostId via, const ObjectId& id, sim::HostId 
     if (target == via) {
       nodes_.at(via)->store_replica(id, result.value());
     } else {
-      net_.send(via, target, kDirectProto, ReplicaStoreMsg{id, result.value(), false},
-                result.value().size() + 24);
+      send_repair(via, target, ReplicaStoreMsg{id, result.value(), false},
+                  result.value().size() + 24);
     }
     if (done) done(Status::ok());
   });
@@ -376,6 +384,16 @@ void ObjectStore::on_direct(sim::HostId host, const sim::Packet& packet) {
   }
 }
 
+void ObjectStore::send_repair(sim::HostId src, sim::HostId dst, std::any body,
+                              std::size_t wire_size) {
+  if (repair_transport_ != nullptr) {
+    repair_transport_->send(
+        sim::Packet{src, dst, repair_transport_->protocol(), std::move(body), wire_size});
+  } else {
+    net_.send(sim::Packet{src, dst, kDirectProto, std::move(body), wire_size});
+  }
+}
+
 void ObjectStore::healing_sweep() {
   for (const auto& [host, store_node] : nodes_) {
     if (!net_.host_up(host)) continue;
@@ -389,8 +407,8 @@ void ObjectStore::healing_sweep() {
       if (data == nullptr) continue;
       for (const auto& target : node->replica_set(id, params_.replicas)) {
         if (target.host == host) continue;
-        net_.send(host, target.host, kDirectProto, ReplicaStoreMsg{id, *data, true},
-                  data->size() + 24);
+        send_repair(host, target.host, ReplicaStoreMsg{id, *data, true},
+                    data->size() + 24);
       }
     }
   }

@@ -25,6 +25,7 @@
 #include <memory>
 
 #include "overlay/overlay_network.hpp"
+#include "sim/reliable.hpp"
 #include "storage/store_node.hpp"
 
 namespace aa::storage {
@@ -56,6 +57,13 @@ class ObjectStore {
     /// Self-healing sweep period; 0 disables healing.
     SimDuration healing_period = 0;
     SimDuration request_timeout = duration::seconds(10);
+    /// Routes replica-repair traffic (healing pushes and directed
+    /// replication) through an ack/retry reliable transport (protocol
+    /// "store.r"), so lost repair copies are retransmitted instead of
+    /// waiting a whole sweep.  Request/reply traffic keeps its own
+    /// timeout machinery and stays raw.  Off by default.
+    bool reliable_repair = false;
+    sim::ReliableParams reliable;
   };
 
   ObjectStore(sim::Network& net, overlay::OverlayNetwork& overlay, Params params);
@@ -135,9 +143,14 @@ class ObjectStore {
                             sim::HostId requester);
   void healing_sweep();
 
+  /// Repair-plane send: reliable transport when enabled, raw
+  /// kDirectProto datagram otherwise.
+  void send_repair(sim::HostId src, sim::HostId dst, std::any body, std::size_t wire_size);
+
   sim::Network& net_;
   overlay::OverlayNetwork& overlay_;
   Params params_;
+  std::unique_ptr<sim::ReliableTransport> repair_transport_;
   std::unique_ptr<ErasureCoder> coder_;
   std::map<sim::HostId, std::unique_ptr<StoreNode>> nodes_;
   std::map<std::uint64_t, PendingGet> pending_gets_;

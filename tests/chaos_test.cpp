@@ -1,0 +1,267 @@
+// Deterministic chaos suite for the link fault model + reliable
+// transport (sim/network.hpp, sim/reliable.hpp).
+//
+// Method: run the same pub/sub workload twice — once on a clean network
+// over the raw datagram path (the oracle), once with link faults,
+// mid-run partitions and the ack/retry broker transport — and require
+// the per-client delivery digests to be identical.  Clients are
+// co-located with their access brokers, so every client<->broker hop is
+// loopback (exempt from faults by design) and the end-to-end guarantee
+// reduces to the inter-broker reliable path.  Everything is driven by
+// the discrete-event scheduler from seeded Rngs: a failing (seed,
+// scenario) pair replays bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "pubsub/siena_network.hpp"
+#include "sim/churn.hpp"
+#include "storage/object_store.hpp"
+
+namespace aa {
+namespace {
+
+using event::Event;
+using event::Filter;
+using event::Op;
+using pubsub::SienaNetwork;
+
+// Per-client sorted delivery digest; duplicate deliveries show up as
+// repeated keys, so the comparison is sensitive to both loss and
+// duplication.
+using Digest = std::map<sim::HostId, std::vector<std::string>>;
+
+constexpr std::size_t kHosts = 8;
+constexpr int kRounds = 25;
+
+sim::ReliableParams chaos_reliable_params() {
+  // Retries must span a 300 ms partition window comfortably: with these
+  // settings the 30-retry budget covers tens of seconds.
+  sim::ReliableParams rp;
+  rp.initial_rto = duration::millis(40);
+  rp.backoff = 2.0;
+  rp.max_rto = duration::seconds(1);
+  rp.max_retries = 30;
+  return rp;
+}
+
+struct ScenarioResult {
+  Digest digest;
+  std::uint64_t deliveries = 0;
+  std::uint64_t give_ups = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t dropped_by_fault = 0;
+};
+
+// One full pub/sub run.  `mutate` (optional) is invoked right after the
+// subscription tables quiesce, with the network and scheduler — chaos
+// scenarios install faults and schedule partition cuts/heals there.
+ScenarioResult run_scenario(bool reliable,
+                            std::function<void(sim::Network&, sim::Scheduler&)> mutate) {
+  ScenarioResult result;
+  sim::Scheduler sched;
+  auto topo = std::make_shared<sim::UniformTopology>(kHosts, duration::millis(5));
+  sim::Network net(sched, topo);
+  SienaNetwork ps(net, {0, 1, 2, 3, 4, 5, 6, 7});
+  ps.connect_tree(2);  // edges: 0-1, 0-2, 1-3, 1-4, 2-5, 2-6, 3-7
+  if (reliable) ps.enable_reliable_transport(chaos_reliable_params());
+
+  Digest& digest = result.digest;
+  for (sim::HostId h = 0; h < kHosts; ++h) {
+    ps.attach_client(h, h);  // co-located: client hops are loopback
+    ps.subscribe(h, Filter().where("type", Op::kEq, "t" + std::to_string(h % 4)),
+                 [&digest, h](const Event& e) {
+                   digest[h].push_back(e.get_string("key").value_or("?"));
+                 });
+  }
+  sched.run();  // quiesce subscription propagation on a clean network
+  net.reset_stats();
+
+  if (mutate) mutate(net, sched);
+
+  // 8 publishers x 25 rounds, one publish every 5 ms; each event's type
+  // matches exactly two subscribers (hosts k and k+4).
+  for (int r = 0; r < kRounds; ++r) {
+    for (sim::HostId p = 0; p < kHosts; ++p) {
+      const SimDuration when =
+          duration::millis(5) * static_cast<SimDuration>(r * 8 + static_cast<int>(p) + 1);
+      sched.after(when, [&ps, p, r] {
+        Event e("t" + std::to_string((static_cast<int>(p) + r) % 4));
+        e.set("key", "p" + std::to_string(p) + "r" + std::to_string(r));
+        ps.publish(p, e);
+      });
+    }
+  }
+  sched.run();  // drain: retransmissions terminate once everything acks
+
+  for (const auto& [h, keys] : digest) result.deliveries += keys.size();
+  for (auto& [h, keys] : digest) std::sort(keys.begin(), keys.end());
+  if (ps.reliable_transport() != nullptr) {
+    result.give_ups = ps.reliable_transport()->stats().give_ups;
+  }
+  result.retransmits = net.stats().retransmits;
+  result.dropped_by_fault = net.stats().dropped_by_fault;
+  return result;
+}
+
+ScenarioResult fault_free_oracle() {
+  return run_scenario(/*reliable=*/false, nullptr);
+}
+
+// Schedules the chaos timeline for one seed: 10% drop (plus duplication
+// and reordering) on every inter-broker link, and two partition windows
+// that each sever one tree edge while publishing is in full swing.
+void install_chaos(std::uint64_t seed, sim::Network& net, sim::Scheduler& sched) {
+  sim::LinkFaults faults;
+  faults.drop = 0.10;
+  faults.duplicate = 0.05;
+  faults.reorder = 0.10;
+  faults.jitter = duration::millis(2);
+  faults.seed = seed;
+  net.set_link_faults(faults);
+  // Cuts tree edge 0-2: subtree {2,5,6} is unreachable until heal.
+  sched.after(duration::millis(200),
+              [&net] { net.partition("cut-a", {0, 1, 3, 4, 7}, {2, 5, 6}); });
+  sched.after(duration::millis(500), [&net] { net.heal("cut-a"); });
+  // Cuts tree edge 0-1: subtree {1,3,4,7} is unreachable until heal.
+  sched.after(duration::millis(600),
+              [&net] { net.partition("cut-b", {0, 2, 5, 6}, {1, 3, 4, 7}); });
+  sched.after(duration::millis(900), [&net] { net.heal("cut-b"); });
+}
+
+TEST(Chaos, SeedSweepDigestsMatchFaultFreeOracle) {
+  const ScenarioResult oracle = fault_free_oracle();
+  // 200 events, each matching exactly 2 subscriptions.
+  ASSERT_EQ(oracle.deliveries, static_cast<std::uint64_t>(kRounds) * kHosts * 2);
+
+  for (std::uint64_t seed = 1; seed <= 21; ++seed) {
+    const ScenarioResult chaos =
+        run_scenario(/*reliable=*/true, [seed](sim::Network& net, sim::Scheduler& sched) {
+          install_chaos(seed, net, sched);
+        });
+    EXPECT_EQ(chaos.digest, oracle.digest) << "seed " << seed;
+    EXPECT_EQ(chaos.give_ups, 0u) << "seed " << seed;
+    // The faults were real: losses happened and retries papered over
+    // them (guards against the sweep silently testing a clean network).
+    EXPECT_GT(chaos.dropped_by_fault, 0u) << "seed " << seed;
+    EXPECT_GT(chaos.retransmits, 0u) << "seed " << seed;
+  }
+}
+
+TEST(Chaos, KilledLinkConvergesAfterRestore) {
+  // Kill one tree edge outright mid-run (every packet dropped), restore
+  // it later: the reliable path must deliver the full oracle digest.
+  const ScenarioResult oracle = fault_free_oracle();
+  const ScenarioResult chaos =
+      run_scenario(/*reliable=*/true, [](sim::Network& net, sim::Scheduler& sched) {
+        sched.after(duration::millis(150), [&net] {
+          net.set_link_faults(0, 2, sim::LinkFaults{.drop = 1.0});
+        });
+        sched.after(duration::millis(450), [&net] { net.clear_link_faults(); });
+      });
+  EXPECT_EQ(chaos.digest, oracle.digest);
+  EXPECT_EQ(chaos.give_ups, 0u);
+  EXPECT_GT(chaos.retransmits, 0u);
+}
+
+TEST(Chaos, RawPathDivergesUnderFaults) {
+  // Control experiment: the same faults without the reliable transport
+  // must lose deliveries — otherwise the sweep above proves nothing.
+  const ScenarioResult oracle = fault_free_oracle();
+  const ScenarioResult lossy =
+      run_scenario(/*reliable=*/false, [](sim::Network& net, sim::Scheduler& sched) {
+        install_chaos(5, net, sched);
+      });
+  EXPECT_NE(lossy.digest, oracle.digest);
+  EXPECT_LT(lossy.deliveries, oracle.deliveries);
+}
+
+TEST(Chaos, OverlayGossipRetransmitsOnLossyLinks) {
+  // Leaf-set gossip rides the "ov.r" reliable transport: under 20% link
+  // loss the gossip keeps flowing (via retries) and the overlay still
+  // routes correctly once the faults lift.
+  sim::Scheduler sched;
+  auto topo = std::make_shared<sim::UniformTopology>(12, duration::millis(10));
+  sim::Network net(sched, topo);
+  overlay::OverlayNetwork::Params op;
+  op.maintenance_period = duration::seconds(2);
+  op.reliable_maintenance = true;
+  op.reliable = chaos_reliable_params();
+  overlay::OverlayNetwork overlay(net, op);
+  std::vector<sim::HostId> hosts;
+  for (sim::HostId h = 0; h < 12; ++h) hosts.push_back(h);
+  overlay.build_ring(hosts);
+  net.reset_stats();
+
+  net.set_link_faults({.drop = 0.20, .seed = 77});
+  sched.run_for(duration::seconds(20));
+  EXPECT_GT(net.stats().dropped_by_fault, 0u);
+  EXPECT_GT(net.stats().retransmits, 0u);
+  net.clear_link_faults();
+
+  int delivered = 0;
+  for (sim::HostId h = 0; h < 12; ++h) {
+    overlay.register_app("t", h,
+                         [&delivered](const ObjectId&, const Bytes&,
+                                      const overlay::RouteInfo&) { ++delivered; });
+  }
+  Rng rng(9);
+  overlay.route(3, rng.uid(), "t", Bytes{});
+  sched.run_for(duration::seconds(5));  // run(): maintenance never drains
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Chaos, StorageHealingRepairsThroughLossyLinks) {
+  // Replica repair rides the "store.r" reliable transport: healing
+  // pushes recreate lost copies even when every link drops 20% of
+  // packets, and the repaired replica count converges to the target.
+  sim::Scheduler sched;
+  auto topo = std::make_shared<sim::UniformTopology>(16, duration::millis(10));
+  sim::Network net(sched, topo);
+  overlay::OverlayNetwork::Params op;
+  op.maintenance_period = 0;
+  overlay::OverlayNetwork overlay(net, op);
+  std::vector<sim::HostId> hosts;
+  for (sim::HostId h = 0; h < 16; ++h) hosts.push_back(h);
+  overlay.build_ring(hosts);
+
+  storage::ObjectStore::Params p;
+  p.replicas = 5;
+  p.healing_period = duration::seconds(5);
+  p.reliable_repair = true;
+  p.reliable = chaos_reliable_params();
+  storage::ObjectStore store(net, overlay, p);
+
+  const ObjectId id = store.put(0, Bytes{'p', 'r', 'e', 'c', 'i', 'o', 'u', 's'});
+  sched.run_for(duration::seconds(2));
+  ASSERT_EQ(store.live_replicas(id), 5);
+
+  net.set_link_faults({.drop = 0.20, .duplicate = 0.05, .seed = 0xC4A05});
+
+  const auto root = overlay.true_root(id);
+  sim::ChurnInjector churn(net, {});
+  int killed = 0;
+  for (sim::HostId h = 0; h < 16 && killed < 2; ++h) {
+    if (h != root.host && store.node(h)->replica(id) != nullptr && net.host_up(h)) {
+      churn.kill(h, false);
+      ++killed;
+    }
+  }
+  ASSERT_EQ(killed, 2);
+  EXPECT_EQ(store.live_replicas(id), 3);
+
+  sched.run_for(duration::seconds(30));  // several healing sweeps
+  EXPECT_GE(store.live_replicas(id), 5);
+  EXPECT_GT(store.stats().heal_pushes, 0u);
+  EXPECT_GT(net.stats().retransmits, 0u);
+}
+
+}  // namespace
+}  // namespace aa

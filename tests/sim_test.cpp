@@ -2,6 +2,7 @@
 // network delivery and accounting, churn injection, metrics.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "sim/churn.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
+#include "sim/reliable.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/topology.hpp"
 
@@ -290,6 +292,254 @@ TEST(Network, TransmissionTimeAddsToLatency) {
   EXPECT_GT(big_t, small_t);
 }
 
+// --- Link faults ---
+
+TEST(LinkFaults, DropFaultLosesPacketsAndCounts) {
+  NetFixture f;
+  int received = 0;
+  f.net.register_handler(1, "t", [&](const Packet&) { ++received; });
+  f.net.set_link_faults({.drop = 1.0});
+  f.net.send(0, 1, "t", 1, 10);
+  f.sched.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(f.net.stats().dropped_by_fault, 1u);
+  EXPECT_EQ(f.net.stats().messages_sent, 1u);  // it did reach the wire
+  EXPECT_EQ(f.net.stats().messages_delivered, 0u);
+}
+
+TEST(LinkFaults, LoopbackIsExempt) {
+  NetFixture f;
+  int received = 0;
+  f.net.register_handler(0, "t", [&](const Packet&) { ++received; });
+  f.net.set_link_faults({.drop = 1.0, .duplicate = 1.0});
+  f.net.send(0, 0, "t", 1, 10);
+  f.sched.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(f.net.stats().dropped_by_fault, 0u);
+  EXPECT_EQ(f.net.stats().duplicated, 0u);
+}
+
+TEST(LinkFaults, DuplicateDeliversTwice) {
+  NetFixture f;
+  int received = 0;
+  f.net.register_handler(1, "t", [&](const Packet&) { ++received; });
+  f.net.set_link_faults({.duplicate = 1.0});
+  f.net.send(0, 1, "t", 1, 10);
+  f.sched.run();
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(f.net.stats().duplicated, 1u);
+  EXPECT_EQ(f.net.stats().messages_sent, 1u);
+}
+
+TEST(LinkFaults, ReorderBypassesLinkFifo) {
+  // With reordering forced on and no jitter, a tiny packet sent after a
+  // large one arrives first: each packet pays only its own transmission
+  // time instead of queueing behind the link.
+  NetFixture f;
+  std::vector<int> order;
+  f.net.register_handler(1, "t", [&](const Packet& p) {
+    order.push_back(*packet_body<int>(p));
+  });
+  f.net.set_link_faults({.reorder = 1.0, .jitter = 0});
+  f.net.send(0, 1, "t", 1, 1000000);  // large: 10 ms transmission
+  f.net.send(0, 1, "t", 2, 1);        // tiny: overtakes
+  f.sched.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(LinkFaults, PerLinkOverrideWinsOverDefault) {
+  NetFixture f;
+  int to_1 = 0, to_2 = 0;
+  f.net.register_handler(1, "t", [&](const Packet&) { ++to_1; });
+  f.net.register_handler(2, "t", [&](const Packet&) { ++to_2; });
+  f.net.set_link_faults({.drop = 1.0});
+  f.net.set_link_faults(0, 1, LinkFaults{});  // clean override inside a lossy net
+  f.net.send(0, 1, "t", 1, 10);
+  f.net.send(0, 2, "t", 1, 10);
+  f.sched.run();
+  EXPECT_EQ(to_1, 1);
+  EXPECT_EQ(to_2, 0);
+  f.net.clear_link_faults();
+  f.net.send(0, 2, "t", 1, 10);
+  f.sched.run();
+  EXPECT_EQ(to_2, 1);
+}
+
+TEST(LinkFaults, KilledLinkDropsEverything) {
+  NetFixture f;
+  int received = 0;
+  f.net.register_handler(1, "t", [&](const Packet&) { ++received; });
+  f.net.set_link_faults(0, 1, {.drop = 1.0});
+  for (int i = 0; i < 10; ++i) f.net.send(0, 1, "t", i, 10);
+  f.sched.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(f.net.stats().dropped_by_fault, 10u);
+}
+
+TEST(LinkFaults, FaultsAreDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    NetFixture f;
+    std::vector<int> got;
+    f.net.register_handler(1, "t", [&](const Packet& p) {
+      got.push_back(*packet_body<int>(p));
+    });
+    f.net.set_link_faults(
+        {.drop = 0.3, .duplicate = 0.2, .reorder = 0.3, .jitter = 2000, .seed = seed});
+    for (int i = 0; i < 200; ++i) f.net.send(0, 1, "t", i, 100);
+    f.sched.run();
+    return got;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(Partition, BlocksBothDirectionsUntilHealed) {
+  NetFixture f;
+  int received = 0;
+  f.net.register_handler(1, "t", [&](const Packet&) { ++received; });
+  f.net.register_handler(0, "t", [&](const Packet&) { ++received; });
+  f.net.partition("cut", {0, 2}, {1, 3});
+  EXPECT_TRUE(f.net.partitioned(0, 1));
+  EXPECT_TRUE(f.net.partitioned(1, 0));
+  EXPECT_TRUE(f.net.partitioned(3, 2));
+  EXPECT_FALSE(f.net.partitioned(0, 2));  // same side
+  f.net.send(0, 1, "t", 1, 10);
+  f.net.send(1, 0, "t", 1, 10);
+  f.sched.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(f.net.stats().dropped_by_fault, 2u);
+  f.net.heal("cut");
+  EXPECT_FALSE(f.net.partitioned(0, 1));
+  f.net.send(0, 1, "t", 1, 10);
+  f.sched.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Partition, NamedPartitionsHealIndependently) {
+  NetFixture f;
+  f.net.partition("a", {0}, {1});
+  f.net.partition("b", {0}, {2});
+  f.net.heal("a");
+  EXPECT_FALSE(f.net.partitioned(0, 1));
+  EXPECT_TRUE(f.net.partitioned(0, 2));
+  f.net.heal();  // heal-all clears the rest
+  EXPECT_FALSE(f.net.partitioned(0, 2));
+}
+
+TEST(Partition, InFlightPacketsStillArrive) {
+  // Cutting a link mid-flight does not destroy packets already on the
+  // wire — only new sends are blocked, as on a real network.
+  NetFixture f;
+  int received = 0;
+  f.net.register_handler(1, "t", [&](const Packet&) { ++received; });
+  f.net.send(0, 1, "t", 1, 10);
+  f.sched.after(10, [&] { f.net.partition("cut", {0}, {1}); });
+  f.sched.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Network, InFlightPacketNotDeliveredToReincarnatedHost) {
+  // The destination crashes and rejoins while the packet is in flight:
+  // the reincarnated host is a fresh endpoint and must not receive
+  // traffic addressed to its previous life.
+  NetFixture f;
+  int received = 0;
+  f.net.register_handler(1, "t", [&](const Packet&) { ++received; });
+  f.net.send(0, 1, "t", 1, 10);  // arrives at ~1000 us
+  f.sched.after(10, [&] { f.net.set_host_up(1, false); });
+  f.sched.after(20, [&] { f.net.set_host_up(1, true); });
+  f.sched.run();
+  EXPECT_TRUE(f.net.host_up(1));
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(f.net.stats().messages_dropped, 1u);
+  // A packet sent to the new incarnation arrives normally.
+  f.net.send(0, 1, "t", 2, 10);
+  f.sched.run();
+  EXPECT_EQ(received, 1);
+}
+
+// --- Reliable transport ---
+
+TEST(ReliableTransport, ExactlyOnceUnderHeavyLoss) {
+  NetFixture f;
+  f.net.set_link_faults(
+      {.drop = 0.4, .duplicate = 0.3, .reorder = 0.3, .jitter = 2000, .seed = 11});
+  ReliableParams rp;
+  rp.initial_rto = duration::millis(5);
+  rp.max_rto = duration::millis(50);
+  rp.max_retries = 40;
+  ReliableTransport rt(f.net, "rel", rp);
+  std::map<int, int> got;
+  rt.register_handler(1, [&](const Packet& p) { ++got[*packet_body<int>(p)]; });
+  for (int i = 0; i < 50; ++i) rt.send(0, 1, i, 100);
+  f.sched.run();
+  ASSERT_EQ(got.size(), 50u);
+  for (const auto& [msg, count] : got) EXPECT_EQ(count, 1) << "message " << msg;
+  EXPECT_EQ(rt.in_flight(), 0u);
+  EXPECT_EQ(rt.stats().give_ups, 0u);
+  EXPECT_GT(rt.stats().retransmits, 0u);
+  // Retries are visible in the network-wide counters too.
+  EXPECT_EQ(f.net.stats().retransmits, rt.stats().retransmits);
+}
+
+TEST(ReliableTransport, DeliveredPacketCarriesOriginalBodyAndSender) {
+  NetFixture f;
+  ReliableTransport rt(f.net, "rel");
+  Packet seen;
+  rt.register_handler(2, [&](const Packet& p) { seen = p; });
+  rt.send(3, 2, std::string("payload"), 77);
+  f.sched.run();
+  EXPECT_EQ(seen.src, 3u);
+  EXPECT_EQ(seen.dst, 2u);
+  EXPECT_EQ(seen.wire_size, 77u);
+  const auto* body = packet_body<std::string>(seen);
+  ASSERT_NE(body, nullptr);
+  EXPECT_EQ(*body, "payload");
+}
+
+TEST(ReliableTransport, RetransmitsAcrossPartitionUntilHealed) {
+  NetFixture f;
+  ReliableParams rp;
+  rp.initial_rto = duration::millis(10);
+  rp.max_rto = duration::millis(100);
+  rp.max_retries = 40;
+  ReliableTransport rt(f.net, "rel", rp);
+  int got = 0;
+  rt.register_handler(1, [&](const Packet&) { ++got; });
+  f.net.partition("cut", {0}, {1});
+  rt.send(0, 1, 42, 100);
+  f.sched.after(duration::millis(300), [&] { f.net.heal("cut"); });
+  f.sched.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(rt.stats().give_ups, 0u);
+  EXPECT_GT(rt.stats().retransmits, 0u);
+  EXPECT_EQ(rt.in_flight(), 0u);
+}
+
+TEST(ReliableTransport, GivesUpAfterRetryCapWhenPeerIsDown) {
+  NetFixture f;
+  ReliableParams rp;
+  rp.initial_rto = duration::millis(5);
+  rp.max_rto = duration::millis(10);
+  rp.max_retries = 3;
+  ReliableTransport rt(f.net, "rel", rp);
+  rt.register_handler(1, [](const Packet&) {});
+  f.net.set_host_up(1, false);
+  int gave_up = 0;
+  Packet lost;
+  rt.set_give_up([&](const Packet& p) {
+    ++gave_up;
+    lost = p;
+  });
+  rt.send(0, 1, std::string("x"), 50);
+  f.sched.run();
+  EXPECT_EQ(gave_up, 1);
+  EXPECT_EQ(lost.dst, 1u);
+  EXPECT_EQ(rt.stats().give_ups, 1u);
+  EXPECT_EQ(rt.stats().retransmits, 3u);
+  EXPECT_EQ(rt.in_flight(), 0u);
+}
+
 // --- Churn ---
 
 TEST(Churn, DirectedKillAndRevive) {
@@ -316,6 +566,30 @@ TEST(Churn, GracefulLeaveNotifiesBeforeDown) {
   churn.kill(2, /*graceful=*/true);
   EXPECT_TRUE(was_up_at_notification);
   EXPECT_FALSE(f.net.host_up(2));
+}
+
+TEST(Churn, CrashNotifiesAfterDown) {
+  NetFixture f;
+  ChurnInjector churn(f.net, {});
+  bool was_up_at_notification = true;
+  churn.add_observer([&](HostId h, ChurnEvent e) {
+    if (e == ChurnEvent::kCrash) was_up_at_notification = f.net.host_up(h);
+  });
+  churn.kill(2, /*graceful=*/false);
+  EXPECT_FALSE(was_up_at_notification);
+  EXPECT_FALSE(f.net.host_up(2));
+}
+
+TEST(Churn, KillRespectsProtectedHosts) {
+  NetFixture f;
+  ChurnInjector churn(f.net, {});
+  churn.start({2});
+  churn.kill(2, /*graceful=*/false);
+  churn.kill(2, /*graceful=*/true);
+  EXPECT_TRUE(f.net.host_up(2));
+  churn.kill(3, /*graceful=*/false);  // unprotected hosts still die
+  EXPECT_FALSE(f.net.host_up(3));
+  churn.stop();
 }
 
 TEST(Churn, RandomDeparturesRespectProtectedHosts) {
