@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "bench_util.hpp"
+#include "obs/metrics_hub.hpp"
 #include "sim/metrics.hpp"
 #include "pubsub/central_service.hpp"
 #include "pubsub/flooding_network.hpp"
@@ -149,7 +150,7 @@ int main() {
     std::printf("\n%d subscribers, %d brokers, %d publishers x %d events:\n", w.subscribers,
                 w.brokers, w.publishers, w.events_per_publisher);
     bench::Table table({"service", "messages", "bytes", "hotspot", "lat ms", "delivered"});
-    std::vector<std::pair<std::string, sim::NetworkStats>> net_lines;
+    std::vector<std::pair<std::string, RunResult>> results;
     for (const std::string mode : {"central", "flooding", "siena", "siena-adv", "scribe"}) {
       const auto r = run(w, mode);
       table.row({mode, bench::fmt("%llu", (unsigned long long)r.messages),
@@ -157,9 +158,16 @@ int main() {
                  bench::fmt("%llu", (unsigned long long)r.hotspot),
                  bench::fmt("%.1f", r.mean_latency_ms),
                  bench::fmt("%llu", (unsigned long long)r.delivered)});
-      net_lines.emplace_back(mode, r.net);
+      results.emplace_back(mode, r);
     }
-    for (const auto& [mode, stats] : net_lines) bench::net_line(mode, stats);
+    for (const auto& [mode, r] : results) bench::net_line(mode, r.net);
+    for (const auto& [mode, r] : results) {
+      sim::MetricsRegistry reg;
+      obs::export_stats(reg, "net", r.net);
+      reg.add("bench.delivered", r.delivered);
+      reg.add("bench.hotspot", r.hotspot);
+      bench::metrics_line(bench::fmt("C1 %s subs=%d", mode.c_str(), subscribers), reg);
+    }
   }
 
   std::printf("\n(b) Subscription-state economics (64 brokers in a chain, 64 subscribers\n"

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "bench_util.hpp"
+#include "obs/metrics_hub.hpp"
 #include "sim/metrics.hpp"
 #include "overlay/overlay_network.hpp"
 #include "sim/churn.hpp"
@@ -186,7 +187,7 @@ int main() {
 
   bench::Table table({"departure s", "healing", "availability", "copies mean", "copies min",
                       "heal pushes"});
-  std::vector<std::pair<std::string, sim::NetworkStats>> net_lines;
+  std::vector<std::pair<std::string, RunResult>> results;
   for (SimDuration mean_departure : {duration::seconds(60), duration::seconds(15)}) {
     for (bool healing : {false, true}) {
       const auto r = run(mean_departure, healing, 25);
@@ -194,13 +195,20 @@ int main() {
                  healing ? "on" : "off", bench::fmt("%.1f%%", r.availability * 100),
                  bench::fmt("%.1f", r.mean_copies), bench::fmt("%.0f", r.min_copies),
                  bench::fmt("%llu", (unsigned long long)r.heal_pushes)});
-      net_lines.emplace_back(bench::fmt("dep=%llds healing=%s",
-                                        (long long)(mean_departure / 1000000),
-                                        healing ? "on" : "off"),
-                             r.net);
+      results.emplace_back(bench::fmt("dep=%llds healing=%s",
+                                      (long long)(mean_departure / 1000000),
+                                      healing ? "on" : "off"),
+                           r);
     }
   }
-  for (const auto& [label, stats] : net_lines) bench::net_line(label, stats);
+  for (const auto& [label, r] : results) bench::net_line(label, r.net);
+  for (const auto& [label, r] : results) {
+    sim::MetricsRegistry reg;
+    obs::export_stats(reg, "net", r.net);
+    reg.add("bench.heal_pushes", r.heal_pushes);
+    reg.add("bench.availability_pct", static_cast<std::uint64_t>(r.availability * 100));
+    bench::metrics_line("C4 " + label, reg);
+  }
 
   std::printf("\n(b) Fault sweep — per-link drop probability vs read delivery rate,\n"
               "    healing on, repair traffic raw vs reliable (ack/retry):\n");

@@ -12,6 +12,7 @@
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
+#include "sim/metrics.hpp"
 #include "event/filter_index.hpp"
 #include "event/filter_parser.hpp"
 #include "match/engine.hpp"
@@ -116,6 +117,13 @@ int main() {
                bench::fmt("%.0f", 2000.0 / (us / 1e6)),
                bench::fmt("%.1f", us / 2000.0), bench::fmt("%d", matches),
                bench::fmt("%llu", (unsigned long long)engine.stats().candidate_bindings)});
+    sim::MetricsRegistry reg;
+    reg.add("match.facts", static_cast<std::uint64_t>(facts));
+    reg.add("match.events", 2000);
+    reg.add("match.matches", static_cast<std::uint64_t>(matches));
+    reg.add("match.candidate_bindings", engine.stats().candidate_bindings);
+    reg.add("match.events_per_sec", static_cast<std::uint64_t>(2000.0 / (us / 1e6)));
+    bench::metrics_line(bench::fmt("C7 facts=%d", facts), reg);
   }
 
   std::printf("\n(b) Incremental vs naive full-rescan (10k facts; event-count sweep —\n"

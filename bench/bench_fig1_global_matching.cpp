@@ -31,12 +31,13 @@ struct RunResult {
   std::uint64_t network_messages = 0;
 };
 
-RunResult run(int users) {
+RunResult run(int users, const std::string& trace_path = "") {
   gloss::ActiveArchitecture::Config config;
   config.hosts = 32;
   config.brokers = 8;
   config.regions = 4;
   gloss::ActiveArchitecture arch(config);
+  if (!trace_path.empty()) arch.enable_tracing();
 
   // Per-user preference facts: personalised thresholds.
   Rng rng(99);
@@ -116,18 +117,25 @@ RunResult run(int users) {
   result.mean_latency_ms = latency.mean();
   result.p95_latency_ms = latency.percentile(95);
   result.network_messages = arch.network().stats().messages_delivered;
+  bench::metrics_line("F1 users=" + std::to_string(users), arch.metrics_snapshot());
+  if (!trace_path.empty()) bench::export_trace(arch.network(), trace_path);
   return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace_path = bench::trace_arg(argc, argv);
   bench::headline("F1 (Figure 1)",
                   "global matching: high-volume input distilled to few meaningful events");
   bench::Table table({"users", "events in", "meaningful", "distil ratio", "lat ms (mean)",
                       "lat ms (p95)", "net msgs"});
+  bool traced = false;
   for (int users : {16, 32, 64, 128}) {
-    const auto r = run(users);
+    // The trace rides on the first (smallest) run; later runs stay
+    // untraced so the scaling numbers are undisturbed by collection.
+    const auto r = run(users, traced ? "" : trace_path);
+    traced = true;
     table.row({bench::fmt("%d", users), bench::fmt("%llu", (unsigned long long)r.events_in),
                bench::fmt("%llu", (unsigned long long)r.meaningful_out),
                bench::fmt("%.1f:1", r.meaningful_out > 0

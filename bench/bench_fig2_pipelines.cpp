@@ -23,10 +23,11 @@ struct RunResult {
 
 /// Builds a depth-d chain; components [0, split) on host 0 and
 /// [split, d) on host 1, then pushes `events` through it.
-RunResult run(int depth, int split, int events) {
+RunResult run(int depth, int split, int events, const std::string& trace_path = "") {
   sim::Scheduler sched;
   auto topo = std::make_shared<sim::UniformTopology>(2, duration::millis(10));
   sim::Network net(sched, topo);
+  if (!trace_path.empty()) net.enable_tracing();
   pipeline::PipelineNetwork pipes(net);
 
   std::vector<pipeline::ComponentRef> chain;
@@ -53,7 +54,11 @@ RunResult run(int depth, int split, int events) {
   probe.set("user", "bob").set("lat", 56.34).set("lon", -2.79);
   for (int i = 0; i < events; ++i) {
     injected_at = sched.now();
-    pipes.inject(chain[0], probe);
+    {
+      // Each injection roots its own trace (inactive when tracing off).
+      sim::Network::TraceScope root(net, net.start_trace());
+      pipes.inject(chain[0], probe);
+    }
     sched.run();  // one event at a time: exact per-event latency
   }
 
@@ -62,19 +67,21 @@ RunResult run(int depth, int split, int events) {
   r.wire_bytes = net.stats().bytes_sent;
   r.intra = pipes.stats().intra_node_hops;
   r.inter = pipes.stats().inter_node_hops;
+  if (!trace_path.empty()) bench::export_trace(net, trace_path);
   return r;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace_path = bench::trace_arg(argc, argv);
   bench::headline("F2 (Figure 2)", "XML pipelines: intra-node vs inter-node event flow");
 
   std::printf("\n(a) Depth sweep, single split at the midpoint (the figure's layout):\n");
   bench::Table depth_table(
       {"depth", "latency ms", "intra hops", "inter hops", "wire bytes"});
   for (int depth : {2, 4, 8, 16}) {
-    const auto r = run(depth, depth / 2, 50);
+    const auto r = run(depth, depth / 2, 50, depth == 8 ? trace_path : "");
     depth_table.row({bench::fmt("%d", depth), bench::fmt("%.2f", r.latency_ms),
                      bench::fmt("%llu", (unsigned long long)r.intra),
                      bench::fmt("%llu", (unsigned long long)r.inter),

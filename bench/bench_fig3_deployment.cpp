@@ -9,6 +9,7 @@
 
 #include "bench_util.hpp"
 #include "bundle/deployer.hpp"
+#include "obs/metrics_hub.hpp"
 #include "pipeline/installers.hpp"
 #include "sim/metrics.hpp"
 
@@ -46,7 +47,8 @@ bundle::CodeBundle make_bundle(const std::string& name, std::size_t payload_byte
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace_path = bench::trace_arg(argc, argv);
   bench::headline("F3 (Figure 3)",
                   "code-push deployment: bundles -> thin servers -> assembled pipelines");
 
@@ -54,11 +56,16 @@ int main() {
   bench::Table fleet({"bundles", "all installed", "makespan ms", "mean ack ms", "bytes"});
   for (int bundles : {1, 4, 16, 64}) {
     Fixture f(static_cast<std::size_t>(bundles + 1));
+    // The trace rides on the 16-bundle fleet: one trace per push, each
+    // covering push -> verify -> install -> acknowledge.
+    const bool traced = bundles == 16 && !trace_path.empty();
+    if (traced) f.net.enable_tracing();
     int installed = 0;
     sim::Histogram ack;
     const SimTime start = f.sched.now();
     for (int i = 0; i < bundles; ++i) {
       const SimTime pushed_at = f.sched.now();
+      sim::Network::TraceScope root(f.net, f.net.start_trace());
       f.deployer.push(0, static_cast<sim::HostId>(i + 1), make_bundle("m" + std::to_string(i), 2048),
                       [&, pushed_at](Result<bundle::DeployResult> r) {
                         if (r.is_ok() && r.value() == bundle::DeployResult::kInstalled) {
@@ -72,6 +79,11 @@ int main() {
                bench::fmt("%.1f", to_millis(f.sched.now() - start)),
                bench::fmt("%.1f", ack.mean()),
                bench::fmt("%llu", (unsigned long long)f.net.stats().bytes_sent)});
+    sim::MetricsRegistry reg;
+    obs::export_stats(reg, "net", f.net.stats());
+    obs::export_stats(reg, "deploy", f.runtime.stats());
+    bench::metrics_line(bench::fmt("F3 bundles=%d", bundles), reg);
+    if (traced) bench::export_trace(f.net, trace_path);
   }
 
   std::printf("\n(b) Payload-size sweep (single push, 20 ms one-way link):\n");

@@ -4,9 +4,12 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
+#include "sim/metrics.hpp"
 #include "sim/network.hpp"
 
 namespace aa::bench {
@@ -62,6 +65,50 @@ inline std::string fmt(const char* format, ...) {
   std::vsnprintf(buffer, sizeof(buffer), format, args);
   va_end(args);
   return buffer;
+}
+
+/// Machine-readable metrics snapshot: one line, JSON payload, grep-able
+/// by prefix ("metrics[label] {...}").
+inline void metrics_line(const std::string& label, const sim::MetricsRegistry& reg) {
+  std::printf("  metrics[%s] %s\n", label.c_str(), reg.to_json().c_str());
+}
+
+/// Parses a `--trace <path>` argument pair ("" when absent).
+inline std::string trace_arg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--trace") return argv[i + 1];
+  }
+  return "";
+}
+
+/// Writes the network's collected trace as Chrome trace_event JSON,
+/// self-validates it and prints a one-line summary.  Returns false when
+/// tracing was never enabled or the validator rejects the output.
+inline bool export_trace(const sim::Network& net, const std::string& path) {
+  const obs::TraceCollector* tracer = net.tracer();
+  if (tracer == nullptr) {
+    std::printf("  trace: tracing was not enabled, nothing to export\n");
+    return false;
+  }
+  {
+    std::ofstream out(path);
+    if (!out.is_open()) {
+      std::printf("  trace: cannot write %s\n", path.c_str());
+      return false;
+    }
+    tracer->write_chrome_json(out);
+  }
+  const auto problems = obs::validate_chrome_trace_file(path);
+  if (!problems.empty()) {
+    std::printf("  trace: %s FAILED validation (%zu problems; first: %s)\n", path.c_str(),
+                problems.size(), problems.front().c_str());
+    return false;
+  }
+  std::printf("  trace: wrote %s (%zu spans, %llu traces) — validated, load in "
+              "Perfetto/chrome://tracing\n",
+              path.c_str(), tracer->spans().size(),
+              (unsigned long long)tracer->trace_count());
+  return true;
 }
 
 }  // namespace aa::bench

@@ -50,6 +50,10 @@ void ThinServerRuntime::register_installer(const std::string& component_type,
 DeployResult ThinServerRuntime::install_local(sim::HostId host, const CodeBundle& bundle,
                                               const Sha1Digest& seal) {
   ++stats_.received;
+  sim::Network::SpanScope span(net_, host, "deploy", "install");
+  if (span.active()) {
+    span.annotate(bundle.name() + "@v" + std::to_string(bundle.version()));
+  }
   auto server_it = servers_.find(host);
   if (server_it == servers_.end()) {
     ++stats_.rejected_component;

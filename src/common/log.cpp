@@ -6,6 +6,8 @@ namespace aa {
 
 namespace {
 LogLevel g_level = LogLevel::kOff;
+std::function<std::int64_t()> g_clock;
+std::function<void(const std::string&)> g_sink;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -22,10 +24,26 @@ const char* level_name(LogLevel level) {
 
 LogLevel Logger::level() { return g_level; }
 void Logger::set_level(LogLevel level) { g_level = level; }
+void Logger::set_clock(std::function<std::int64_t()> clock) { g_clock = std::move(clock); }
+void Logger::set_sink(std::function<void(const std::string&)> sink) { g_sink = std::move(sink); }
 
 void Logger::write(LogLevel level, const std::string& component, const std::string& message) {
   if (level < g_level) return;
-  std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), component.c_str(), message.c_str());
+  std::string line;
+  if (g_clock) {
+    line += "[t=" + std::to_string(g_clock()) + "us] ";
+  }
+  line += "[";
+  line += level_name(level);
+  line += "] ";
+  line += component;
+  line += ": ";
+  line += message;
+  if (g_sink) {
+    g_sink(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
 }
 
 }  // namespace aa

@@ -3,6 +3,8 @@
 // evolution engine, routing layer, etc.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -16,6 +18,16 @@ class Logger {
   static void set_level(LogLevel level);
   static void write(LogLevel level, const std::string& component, const std::string& message);
   static bool enabled(LogLevel level) { return level >= Logger::level(); }
+
+  /// Injectable clock: when set, every line is prefixed with the
+  /// current sim time ("[t=<now>us]"), so AA_TRACE output correlates
+  /// with trace spans.  Pass nullptr to remove (e.g. when the owning
+  /// scheduler is torn down).
+  static void set_clock(std::function<std::int64_t()> clock);
+
+  /// Test hook: redirect formatted lines away from stderr.  Pass
+  /// nullptr to restore stderr output.
+  static void set_sink(std::function<void(const std::string&)> sink);
 };
 
 namespace log_detail {

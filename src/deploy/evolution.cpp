@@ -42,6 +42,13 @@ bool EvolutionEngine::remove_constraint(const std::string& id) {
 }
 
 void EvolutionEngine::evaluate_now() {
+  // The control loop fires from a timer, so each sweep roots its own
+  // (sampled) trace; deployment bundle sends it triggers nest under it.
+  sim::Network::TraceScope root_trace(net_, net_.start_trace());
+  sim::Network::SpanScope span(net_, params_.engine_host, "evolution", "evolve");
+  if (span.active()) {
+    span.annotate("constraints=" + std::to_string(constraints_.all().size()));
+  }
   for (const PlacementConstraint& c : constraints_.all()) evaluate(c);
 }
 

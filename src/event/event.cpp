@@ -40,6 +40,19 @@ std::optional<bool> Event::get_bool(const std::string& name) const {
   return v->boolean();
 }
 
+Event& Event::set_trace(std::uint64_t trace_id, std::uint64_t span_id) {
+  set(kTraceIdAttr, static_cast<std::int64_t>(trace_id));
+  return set(kTraceSpanAttr, static_cast<std::int64_t>(span_id));
+}
+
+std::uint64_t Event::trace_id() const {
+  return static_cast<std::uint64_t>(get_int(kTraceIdAttr).value_or(0));
+}
+
+std::uint64_t Event::trace_span() const {
+  return static_cast<std::uint64_t>(get_int(kTraceSpanAttr).value_or(0));
+}
+
 xml::Element Event::to_xml() const {
   xml::Element root("event");
   for (const auto& [name, value] : attrs_) {

@@ -51,6 +51,17 @@ class Event {
   std::string source() const { return get_string("source").value_or(""); }
   Event& set_source(const std::string& s) { return set("source", s); }
 
+  // --- Trace metadata (observability; obs/trace.hpp) ---
+  //
+  // Stamped receiver-side onto the copy handed to local subscription
+  // callbacks — never onto the wire form — so traffic accounting and
+  // delivery digests are unchanged by tracing.  Zero means "untraced".
+  static constexpr const char* kTraceIdAttr = "trace.id";
+  static constexpr const char* kTraceSpanAttr = "trace.span";
+  Event& set_trace(std::uint64_t trace_id, std::uint64_t span_id);
+  std::uint64_t trace_id() const;
+  std::uint64_t trace_span() const;
+
   bool operator==(const Event& other) const { return attrs_ == other.attrs_; }
 
   /// XML form: <event><attr name="..." type="..." value="..."/>...</event>

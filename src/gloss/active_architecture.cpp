@@ -1,5 +1,6 @@
 #include "gloss/active_architecture.hpp"
 
+#include "common/log.hpp"
 #include "event/filter_parser.hpp"
 #include "pipeline/components.hpp"
 
@@ -108,10 +109,35 @@ ActiveArchitecture::ActiveArchitecture(Config config) : config_(config) {
   evolution_ = std::make_unique<deploy::EvolutionEngine>(*net_, *bus_, *runtime_, *deployer_,
                                                          ep);
 
+  // --- Observability: logger clock + the system-wide metrics hub.
+  Logger::set_clock([this]() { return sched_.now(); });
+  hub_.add_source([this](sim::MetricsRegistry& reg) {
+    obs::export_stats(reg, "net", net_->stats());
+    obs::export_stats(reg, "broker", bus_->total_broker_stats());
+    obs::export_stats(reg, "pipeline", pipelines_->stats());
+    obs::export_stats(reg, "store", store_->stats());
+    obs::export_stats(reg, "deploy", runtime_->stats());
+    obs::export_stats(reg, "evolution", evolution_->stats());
+    reg.add("overlay.routed", overlay_->routed_messages());
+    reg.add("overlay.undeliverable", overlay_->undeliverable());
+    for (sim::HostId h = 0; h < config_.hosts; ++h) {
+      if (const overlay::OverlayNode* n = overlay_->node_at(h)) {
+        obs::export_stats(reg, "overlay", n->stats());
+      }
+      if (const storage::StoreNode* sn = store_->node(h)) {
+        obs::export_stats(reg, "store.cache", sn->stats());
+      }
+    }
+    reg.histogram("overlay.route_hops").merge(overlay_->route_hops());
+    if (const obs::TraceCollector* tracer = net_->tracer()) {
+      obs::export_trace_metrics(reg, "trace", *tracer);
+    }
+  });
+
   sched_.run_for(config_.settle_time);
 }
 
-ActiveArchitecture::~ActiveArchitecture() = default;
+ActiveArchitecture::~ActiveArchitecture() { Logger::set_clock(nullptr); }
 
 std::string ActiveArchitecture::region_of(sim::HostId host) const {
   return "r" + std::to_string(topo_->region_of(host));

@@ -30,6 +30,7 @@
 #include "match/knowledge.hpp"
 #include "match/matchlet.hpp"
 #include "match/replicated_knowledge.hpp"
+#include "obs/metrics_hub.hpp"
 #include "pipeline/installers.hpp"
 #include "pubsub/siena_network.hpp"
 #include "storage/object_store.hpp"
@@ -128,6 +129,20 @@ class ActiveArchitecture {
   /// Runs virtual time forward.
   void run_for(SimDuration d) { sched_.run_for(d); }
 
+  // --- Observability (obs/) ---
+  /// Turns on causal tracing on the underlying network (no-op on the
+  /// hot path until then; see sim/network.hpp).
+  void enable_tracing(std::uint64_t sample_every = 1) {
+    net_->enable_tracing(sample_every);
+  }
+  /// The hub snapshotting every subsystem's stats; extend it with
+  /// add_source for application-level metrics.
+  obs::MetricsHub& metrics_hub() { return hub_; }
+  /// One namespaced point-in-time snapshot of the whole system
+  /// ("net.*", "broker.*", "pipeline.*", "overlay.*", "store.*",
+  /// "deploy.*", "evolution.*", plus "trace.*" when tracing is on).
+  sim::MetricsRegistry metrics_snapshot() const { return hub_.snapshot(); }
+
   /// The authority secret used to seal bundles in this deployment.
   static constexpr const char* kAuthority = "gloss-authority";
 
@@ -146,6 +161,7 @@ class ActiveArchitecture {
   std::unique_ptr<deploy::ResourceAdvertiser> advertiser_;
   std::unique_ptr<deploy::EvolutionEngine> evolution_;
   std::unique_ptr<match::DiscoveryService> discovery_;
+  obs::MetricsHub hub_;
   int service_counter_ = 0;
 };
 

@@ -1,0 +1,196 @@
+// Unified metrics hub: snapshots every component's existing *Stats
+// struct into one namespaced sim::MetricsRegistry.
+//
+// Each layer already keeps counters (BrokerStats, NetworkStats, ...)
+// but there was no way to read the whole system at once — the paper's
+// evolution engine "monitors the running system" (§4.4/§4.6), and
+// benches want one machine-readable line.  The hub copies each struct's
+// fields into the registry under a dotted namespace ("net.messages_sent",
+// "broker.deliveries", ...), so MetricsRegistry::to_json() exports the
+// full picture.
+//
+// Header-only by design: the overloads below include stats headers from
+// every layer, which the low-level aa_obs library must not link
+// against.  Including this header from the facade (gloss) or a bench
+// costs nothing at runtime until snapshot() is called.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bundle/thin_server.hpp"
+#include "deploy/evolution.hpp"
+#include "obs/trace.hpp"
+#include "overlay/node.hpp"
+#include "pipeline/component.hpp"
+#include "pipeline/pipeline_network.hpp"
+#include "pubsub/broker.hpp"
+#include "pubsub/scribe.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network.hpp"
+#include "sim/reliable.hpp"
+#include "storage/object_store.hpp"
+#include "storage/store_node.hpp"
+
+namespace aa::obs {
+
+/// Copies a stats struct's counters into `reg` under `ns` ("ns.field").
+/// One overload per struct keeps additions explicit — a new field that
+/// should be exported must be added here, which the round-trip unit
+/// test cross-checks for the structs it covers.
+inline void export_stats(sim::MetricsRegistry& reg, const std::string& ns,
+                         const sim::NetworkStats& s) {
+  reg.add(ns + ".messages_sent", s.messages_sent);
+  reg.add(ns + ".messages_delivered", s.messages_delivered);
+  reg.add(ns + ".messages_dropped", s.messages_dropped);
+  reg.add(ns + ".bytes_sent", s.bytes_sent);
+  reg.add(ns + ".duplicated", s.duplicated);
+  reg.add(ns + ".retransmits", s.retransmits);
+  reg.add(ns + ".dropped_by_fault", s.dropped_by_fault);
+}
+
+inline void export_stats(sim::MetricsRegistry& reg, const std::string& ns,
+                         const sim::ReliableStats& s) {
+  reg.add(ns + ".data_sent", s.data_sent);
+  reg.add(ns + ".acked", s.acked);
+  reg.add(ns + ".retransmits", s.retransmits);
+  reg.add(ns + ".duplicates_suppressed", s.duplicates_suppressed);
+  reg.add(ns + ".give_ups", s.give_ups);
+}
+
+inline void export_stats(sim::MetricsRegistry& reg, const std::string& ns,
+                         const pubsub::BrokerStats& s) {
+  reg.add(ns + ".publications_routed", s.publications_routed);
+  reg.add(ns + ".deliveries", s.deliveries);
+  reg.add(ns + ".subscriptions_forwarded", s.subscriptions_forwarded);
+  reg.add(ns + ".subscriptions_suppressed", s.subscriptions_suppressed);
+  reg.add(ns + ".match_tests", s.match_tests);
+  reg.add(ns + ".index_probes", s.index_probes);
+}
+
+inline void export_stats(sim::MetricsRegistry& reg, const std::string& ns,
+                         const pubsub::ScribeStats& s) {
+  reg.add(ns + ".joins_routed", s.joins_routed);
+  reg.add(ns + ".publishes_routed", s.publishes_routed);
+  reg.add(ns + ".multicast_messages", s.multicast_messages);
+  reg.add(ns + ".pruned_children", s.pruned_children);
+}
+
+inline void export_stats(sim::MetricsRegistry& reg, const std::string& ns,
+                         const overlay::NodeStats& s) {
+  reg.add(ns + ".forwarded", s.forwarded);
+  reg.add(ns + ".delivered", s.delivered);
+  reg.add(ns + ".repairs", s.repairs);
+}
+
+inline void export_stats(sim::MetricsRegistry& reg, const std::string& ns,
+                         const pipeline::PipelineStats& s) {
+  reg.add(ns + ".intra_node_hops", s.intra_node_hops);
+  reg.add(ns + ".inter_node_hops", s.inter_node_hops);
+  reg.add(ns + ".undeliverable", s.undeliverable);
+  reg.add(ns + ".parse_failures", s.parse_failures);
+}
+
+inline void export_stats(sim::MetricsRegistry& reg, const std::string& ns,
+                         const pipeline::ComponentStats& s) {
+  reg.add(ns + ".received", s.received);
+  reg.add(ns + ".emitted", s.emitted);
+  reg.add(ns + ".dropped", s.dropped);
+}
+
+inline void export_stats(sim::MetricsRegistry& reg, const std::string& ns,
+                         const storage::ObjectStoreStats& s) {
+  reg.add(ns + ".puts", s.puts);
+  reg.add(ns + ".gets", s.gets);
+  reg.add(ns + ".local_hits", s.local_hits);
+  reg.add(ns + ".intercept_hits", s.intercept_hits);
+  reg.add(ns + ".root_hits", s.root_hits);
+  reg.add(ns + ".misses", s.misses);
+  reg.add(ns + ".timeouts", s.timeouts);
+  reg.add(ns + ".heal_pushes", s.heal_pushes);
+  reg.add(ns + ".reconstructions", s.reconstructions);
+}
+
+inline void export_stats(sim::MetricsRegistry& reg, const std::string& ns,
+                         const storage::StoreNodeStats& s) {
+  reg.add(ns + ".cache_hits", s.cache_hits);
+  reg.add(ns + ".cache_misses", s.cache_misses);
+  reg.add(ns + ".cache_evictions", s.cache_evictions);
+}
+
+inline void export_stats(sim::MetricsRegistry& reg, const std::string& ns,
+                         const deploy::EvolutionStats& s) {
+  reg.add(ns + ".evaluations", s.evaluations);
+  reg.add(ns + ".deployments_started", s.deployments_started);
+  reg.add(ns + ".deployments_succeeded", s.deployments_succeeded);
+  reg.add(ns + ".deployments_failed", s.deployments_failed);
+  reg.add(ns + ".retirements", s.retirements);
+  reg.add(ns + ".violations_observed", s.violations_observed);
+}
+
+inline void export_stats(sim::MetricsRegistry& reg, const std::string& ns,
+                         const bundle::ThinServerStats& s) {
+  reg.add(ns + ".received", s.received);
+  reg.add(ns + ".installed", s.installed);
+  reg.add(ns + ".rejected_seal", s.rejected_seal);
+  reg.add(ns + ".rejected_capability", s.rejected_capability);
+  reg.add(ns + ".rejected_component", s.rejected_component);
+  reg.add(ns + ".installer_failures", s.installer_failures);
+  reg.add(ns + ".uninstalled", s.uninstalled);
+}
+
+/// Per-delivery trace metrics → "ns.deliveries" counter plus
+/// "ns.hops" / "ns.total_us" / "ns.wire_us" / "ns.match_us" /
+/// "ns.queue_us" histograms.  No-op when tracing is off.
+inline void export_trace_metrics(sim::MetricsRegistry& reg, const std::string& ns,
+                                 const TraceCollector& tracer) {
+  const auto deliveries = tracer.delivery_metrics();
+  reg.add(ns + ".deliveries", deliveries.size());
+  for (const auto& d : deliveries) {
+    reg.histogram(ns + ".hops").record(static_cast<double>(d.hops));
+    reg.histogram(ns + ".total_us").record(static_cast<double>(d.total));
+    reg.histogram(ns + ".wire_us").record(static_cast<double>(d.wire));
+    reg.histogram(ns + ".match_us").record(static_cast<double>(d.match));
+    reg.histogram(ns + ".queue_us").record(static_cast<double>(d.queue));
+  }
+}
+
+/// Collects (namespace, snapshot-function) pairs; snapshot() replays
+/// them into a fresh registry, so one hub built at setup time can be
+/// snapshotted repeatedly as the simulation advances.
+class MetricsHub {
+ public:
+  using Source = std::function<void(sim::MetricsRegistry&)>;
+
+  void add_source(Source source) { sources_.push_back(std::move(source)); }
+
+  /// Convenience: registers a stats struct by reference.  The referent
+  /// must outlive the hub (true for the facade's members).
+  template <typename Stats>
+  void add_stats(const std::string& ns, const Stats& stats) {
+    sources_.push_back([ns, &stats](sim::MetricsRegistry& reg) {
+      export_stats(reg, ns, stats);
+    });
+  }
+
+  /// Snapshot every source into `reg` (callers clear() it if they want
+  /// a point-in-time snapshot rather than accumulation).
+  void snapshot(sim::MetricsRegistry& reg) const {
+    for (const Source& s : sources_) s(reg);
+  }
+
+  sim::MetricsRegistry snapshot() const {
+    sim::MetricsRegistry reg;
+    snapshot(reg);
+    return reg;
+  }
+
+  std::size_t source_count() const { return sources_.size(); }
+
+ private:
+  std::vector<Source> sources_;
+};
+
+}  // namespace aa::obs

@@ -1,0 +1,145 @@
+// Causal tracing for the simulated architecture (the `aa::obs` layer).
+//
+// The paper's evolution engine assumes the infrastructure can "monitor
+// the running system" (§4.4/§4.6); this layer supplies the raw
+// material: a lightweight TraceContext (trace id + parent span id)
+// rides on every sim::Network packet, and instrumented components
+// record Spans — (host, component kind, action, sim-time in/out) — into
+// a per-Network TraceCollector as a traced event crosses broker
+// routing, pipeline matchlets, overlay hops and storage repair.
+//
+// Layering: obs sits *below* sim (sim::Network owns a TraceCollector),
+// so this header depends only on common/.  Host ids are mirrored as a
+// plain integer; sim::HostId is the same underlying type.
+//
+// Tracing is opt-in (Network::enable_tracing) and adds no packets and
+// no timing: a traced run and an untraced run of the same workload
+// execute the identical event sequence, which the chaos suite asserts
+// by comparing delivery digests with tracing on vs. off.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace aa::obs {
+
+/// Mirrors sim::HostId without depending on sim/.
+using HostId = std::uint32_t;
+constexpr HostId kNoHost = UINT32_MAX;
+
+/// The context carried on packets and across scheduler hops: which
+/// trace a causal chain belongs to and which span is its current
+/// parent.  A zero trace id means "not traced" — the default, so
+/// untraced packets cost one integer compare on the hot path.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
+
+  bool active() const { return trace_id != 0; }
+};
+
+/// One recorded hop of a causal chain.  `end < start` marks a span
+/// still open when the collector was read (e.g. a packet in flight when
+/// the simulation stopped).
+struct Span {
+  std::uint64_t trace_id = 0;
+  std::uint64_t id = 0;      // sequential from 1; index into the collector
+  std::uint64_t parent = 0;  // 0 = root of its trace
+  HostId host = kNoHost;
+  std::string component;  // "net", "broker", "pipeline", "client", ...
+  std::string action;     // "publish", "wire", "route", "match", ...
+  SimTime start = 0;
+  SimTime end = -1;
+  std::string detail;  // free-form annotations, ';'-joined
+
+  bool closed() const { return end >= start; }
+  SimDuration duration() const { return closed() ? end - start : 0; }
+};
+
+/// Append-only span store for one Network.  Span ids are dense (1..N),
+/// so lookup is an index; spans are never removed, only cleared.
+class TraceCollector {
+ public:
+  /// Starts a new trace, subject to sampling: every `sample_every`-th
+  /// call yields an active context, the rest return an inactive one (so
+  /// call sites need no sampling logic of their own).
+  TraceContext start_trace();
+
+  /// 1 = trace every root (default); n traces every n-th; 0 disables
+  /// new traces while keeping already-started ones flowing.
+  void set_sample_every(std::uint64_t n) { sample_every_ = n; }
+  std::uint64_t sample_every() const { return sample_every_; }
+
+  /// Opens a span under `ctx` (no-op returning 0 when ctx is inactive).
+  std::uint64_t begin(const TraceContext& ctx, HostId host, std::string component,
+                      std::string action, SimTime now);
+  /// Closes a span.  Idempotent: the first close wins, so a duplicated
+  /// packet arriving twice cannot stretch its wire span.
+  void end(std::uint64_t span_id, SimTime now);
+  /// Appends to the span's detail (';'-joined).
+  void annotate(std::uint64_t span_id, const std::string& detail);
+
+  const Span* span(std::uint64_t span_id) const;
+  const std::vector<Span>& spans() const { return spans_; }
+  std::uint64_t trace_count() const { return next_trace_ - 1; }
+  /// Spans of one trace, in recording order.
+  std::vector<const Span*> trace(std::uint64_t trace_id) const;
+  void clear();
+
+  // --- Exporters ---
+
+  /// Chrome trace_event JSON ("X" complete events; ts/dur in µs),
+  /// loadable in Perfetto / chrome://tracing.  Hosts render as
+  /// processes, traces as threads; span/parent/trace ids ride in args.
+  void write_chrome_json(std::ostream& out) const;
+  std::string chrome_json() const;
+
+  /// Compact indented text dump, one trace per block.
+  void dump_text(std::ostream& out) const;
+
+  // --- Derived per-delivery metrics ---
+
+  /// One terminal delivery (a span with action "deliver") and the
+  /// latency breakdown of its causal chain back to the trace root:
+  /// `wire` is time inside network wire spans, `match` time inside
+  /// route/match/put spans (zero-cost in the discrete-event model
+  /// unless a component charges time), `queue` is the remainder —
+  /// scheduler/processing delay between hops.
+  struct DeliveryMetrics {
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+    HostId host = kNoHost;
+    int hops = 0;  // wire spans on the root -> delivery path
+    SimDuration total = 0;
+    SimDuration wire = 0;
+    SimDuration match = 0;
+    SimDuration queue = 0;
+  };
+  std::vector<DeliveryMetrics> delivery_metrics() const;
+
+ private:
+  std::uint64_t next_trace_ = 1;
+  std::uint64_t next_span_ = 1;
+  std::uint64_t sample_every_ = 1;
+  std::uint64_t start_calls_ = 0;
+  std::vector<Span> spans_;
+};
+
+/// Validates a Chrome trace_event JSON document (as produced by
+/// TraceCollector::write_chrome_json, but tolerant of any conforming
+/// emitter): well-formed JSON, a traceEvents array, and for every "X"
+/// event non-negative ts/dur, a unique span id, an existing same-trace
+/// parent, acyclic parent chains, and timestamps monotonically
+/// non-decreasing from parent to child.  Returns human-readable
+/// problems; an empty vector means the document is accepted.
+std::vector<std::string> validate_chrome_trace(std::istream& in);
+
+/// Convenience: validate a file by path.  Adds an error if the file
+/// cannot be opened.
+std::vector<std::string> validate_chrome_trace_file(const std::string& path);
+
+}  // namespace aa::obs

@@ -1,0 +1,387 @@
+// Chrome trace_event JSON validator (obs/trace.hpp).
+//
+// Exported traces are consumed by external viewers, so a malformed
+// export fails silently there; this validator gives benches and CI a
+// fast local check.  It embeds a minimal recursive-descent JSON parser
+// (objects, arrays, strings, numbers, booleans, null) — enough for the
+// trace_event format without growing a dependency.
+#include "obs/trace.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace aa::obs {
+
+namespace {
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, std::shared_ptr<JsonArray>,
+               std::shared_ptr<JsonObject>>
+      v = nullptr;
+
+  bool is_object() const { return std::holds_alternative<std::shared_ptr<JsonObject>>(v); }
+  bool is_array() const { return std::holds_alternative<std::shared_ptr<JsonArray>>(v); }
+  bool is_number() const { return std::holds_alternative<double>(v); }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+  const JsonObject& object() const { return *std::get<std::shared_ptr<JsonObject>>(v); }
+  const JsonArray& array() const { return *std::get<std::shared_ptr<JsonArray>>(v); }
+  double number() const { return std::get<double>(v); }
+  const std::string& str() const { return std::get<std::string>(v); }
+
+  /// Member lookup; nullptr when absent or not an object.
+  const JsonValue* get(const std::string& key) const {
+    if (!is_object()) return nullptr;
+    auto it = object().find(key);
+    return it == object().end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool parse(JsonValue& out, std::string& error) {
+    if (!value(out, error)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error = at() + "trailing characters after document";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::string at() const { return "offset " + std::to_string(pos_) + ": "; }
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool literal(const char* word, std::string& error) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        error = at() + "bad literal";
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool value(JsonValue& out, std::string& error) {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      error = at() + "unexpected end of input";
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return object(out, error);
+    if (c == '[') return array(out, error);
+    if (c == '"') {
+      std::string s;
+      if (!string(s, error)) return false;
+      out.v = std::move(s);
+      return true;
+    }
+    if (c == 't') {
+      if (!literal("true", error)) return false;
+      out.v = true;
+      return true;
+    }
+    if (c == 'f') {
+      if (!literal("false", error)) return false;
+      out.v = false;
+      return true;
+    }
+    if (c == 'n') {
+      if (!literal("null", error)) return false;
+      out.v = nullptr;
+      return true;
+    }
+    return number(out, error);
+  }
+
+  bool number(JsonValue& out, std::string& error) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      error = at() + "expected a value";
+      return false;
+    }
+    try {
+      out.v = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      error = "offset " + std::to_string(start) + ": malformed number";
+      return false;
+    }
+    return true;
+  }
+
+  bool string(std::string& out, std::string& error) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 >= text_.size()) {
+              error = at() + "truncated \\u escape";
+              return false;
+            }
+            // Validator only: keep the raw escape, codepoint is unused.
+            out += "\\u";
+            out += text_.substr(pos_ + 1, 4);
+            pos_ += 4;
+            break;
+          }
+          default:
+            error = at() + "bad escape";
+            return false;
+        }
+        ++pos_;
+      } else {
+        out += c;
+        ++pos_;
+      }
+    }
+    error = at() + "unterminated string";
+    return false;
+  }
+
+  bool array(JsonValue& out, std::string& error) {
+    ++pos_;  // '['
+    auto arr = std::make_shared<JsonArray>();
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      out.v = std::move(arr);
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      if (!value(item, error)) return false;
+      arr->push_back(std::move(item));
+      skip_ws();
+      if (pos_ >= text_.size()) {
+        error = at() + "unterminated array";
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        out.v = std::move(arr);
+        return true;
+      }
+      error = at() + "expected ',' or ']'";
+      return false;
+    }
+  }
+
+  bool object(JsonValue& out, std::string& error) {
+    ++pos_;  // '{'
+    auto obj = std::make_shared<JsonObject>();
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      out.v = std::move(obj);
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        error = at() + "expected object key";
+        return false;
+      }
+      std::string key;
+      if (!string(key, error)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        error = at() + "expected ':'";
+        return false;
+      }
+      ++pos_;
+      JsonValue item;
+      if (!value(item, error)) return false;
+      (*obj)[std::move(key)] = std::move(item);
+      skip_ws();
+      if (pos_ >= text_.size()) {
+        error = at() + "unterminated object";
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        out.v = std::move(obj);
+        return true;
+      }
+      error = at() + "expected ',' or '}'";
+      return false;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+struct SpanRecord {
+  double ts = 0;
+  double dur = 0;
+  double trace = 0;
+  double parent = 0;
+  std::size_t event_index = 0;
+};
+
+double num_or(const JsonValue* v, double fallback) {
+  return (v != nullptr && v->is_number()) ? v->number() : fallback;
+}
+
+}  // namespace
+
+std::vector<std::string> validate_chrome_trace(std::istream& in) {
+  std::vector<std::string> problems;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  JsonValue doc;
+  std::string error;
+  if (!JsonParser(text).parse(doc, error)) {
+    problems.push_back("JSON parse error: " + error);
+    return problems;
+  }
+
+  // Chrome accepts either a bare event array or {"traceEvents": [...]}.
+  const JsonValue* events = nullptr;
+  if (doc.is_array()) {
+    events = &doc;
+  } else if (doc.is_object()) {
+    events = doc.get("traceEvents");
+  }
+  if (events == nullptr || !events->is_array()) {
+    problems.push_back("document has no traceEvents array");
+    return problems;
+  }
+
+  std::map<double, SpanRecord> spans;  // span id -> record
+  std::size_t x_events = 0;
+  for (std::size_t i = 0; i < events->array().size(); ++i) {
+    const JsonValue& ev = events->array()[i];
+    const std::string where = "event " + std::to_string(i);
+    if (!ev.is_object()) {
+      problems.push_back(where + ": not an object");
+      continue;
+    }
+    const JsonValue* ph = ev.get("ph");
+    if (ph == nullptr || !ph->is_string()) {
+      problems.push_back(where + ": missing ph");
+      continue;
+    }
+    if (ph->str() != "X") continue;  // metadata / counter events pass through
+    ++x_events;
+    const JsonValue* name = ev.get("name");
+    if (name == nullptr || !name->is_string() || name->str().empty()) {
+      problems.push_back(where + ": X event without a name");
+    }
+    const double ts = num_or(ev.get("ts"), -1);
+    const double dur = num_or(ev.get("dur"), -1);
+    if (ts < 0) problems.push_back(where + ": missing or negative ts");
+    if (dur < 0) problems.push_back(where + ": missing or negative dur");
+    const JsonValue* args = ev.get("args");
+    const double span_id = args != nullptr ? num_or(args->get("span"), 0) : 0;
+    const double trace_id = args != nullptr ? num_or(args->get("trace"), 0) : 0;
+    const double parent = args != nullptr ? num_or(args->get("parent"), 0) : 0;
+    if (span_id <= 0) {
+      problems.push_back(where + ": X event without args.span");
+      continue;
+    }
+    if (trace_id <= 0) problems.push_back(where + ": X event without args.trace");
+    if (spans.count(span_id) != 0) {
+      problems.push_back(where + ": duplicate span id " +
+                         std::to_string(static_cast<long long>(span_id)));
+      continue;
+    }
+    spans[span_id] = SpanRecord{ts, dur, trace_id, parent, i};
+  }
+
+  if (x_events == 0) problems.push_back("no spans (X events) in trace");
+
+  // Parent integrity + monotonic timestamps along every parent chain.
+  for (const auto& [id, rec] : spans) {
+    if (rec.parent == 0) continue;
+    const std::string where =
+        "span " + std::to_string(static_cast<long long>(id));
+    auto pit = spans.find(rec.parent);
+    if (pit == spans.end()) {
+      problems.push_back(where + ": parent " +
+                         std::to_string(static_cast<long long>(rec.parent)) +
+                         " does not exist");
+      continue;
+    }
+    if (pit->second.trace != rec.trace) {
+      problems.push_back(where + ": parent belongs to a different trace");
+    }
+    if (rec.ts + 1e-9 < pit->second.ts) {
+      problems.push_back(where + ": starts before its parent (non-monotonic)");
+    }
+    // Cycle check: walk to the root with a step budget.
+    std::size_t steps = 0;
+    double cur = rec.parent;
+    while (cur != 0 && steps++ <= spans.size()) {
+      auto it = spans.find(cur);
+      if (it == spans.end()) break;
+      cur = it->second.parent;
+    }
+    if (cur != 0 && steps > spans.size()) {
+      problems.push_back(where + ": parent chain contains a cycle");
+    }
+  }
+  return problems;
+}
+
+std::vector<std::string> validate_chrome_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return {"cannot open " + path};
+  }
+  return validate_chrome_trace(in);
+}
+
+}  // namespace aa::obs

@@ -117,8 +117,10 @@ void OverlayNetwork::register_intercept(const std::string& app, sim::HostId host
 }
 
 void OverlayNetwork::handle_route(OverlayNode& node, RouteMsg msg) {
+  sim::Network::SpanScope span(net_, node.host(), "overlay", "route");
   if (msg.hops >= kMaxHops) {
     ++undeliverable_;
+    span.annotate("undeliverable:max-hops");
     return;
   }
   // forward() upcall: give the local application a chance to consume
@@ -130,6 +132,7 @@ void OverlayNetwork::handle_route(OverlayNode& node, RouteMsg msg) {
       RouteInfo info{msg.hops, msg.origin};
       if (icp->second(msg.key, msg.payload, info)) {
         route_hops_.record(static_cast<double>(msg.hops));
+        if (span.active()) span.annotate("intercepted:" + msg.app);
         return;
       }
     }
@@ -142,14 +145,19 @@ void OverlayNetwork::handle_route(OverlayNode& node, RouteMsg msg) {
     if (app_it != apps_.end()) {
       auto handler_it = app_it->second.find(node.host());
       if (handler_it != app_it->second.end()) {
+        if (span.active()) {
+          span.annotate("root:" + msg.app + ";hops=" + std::to_string(msg.hops));
+        }
         handler_it->second(msg.key, msg.payload, RouteInfo{msg.hops, msg.origin});
         return;
       }
     }
     ++undeliverable_;
+    span.annotate("undeliverable:no-app");
     return;
   }
   msg.hops += 1;
+  if (span.active()) span.annotate("forward:h" + std::to_string(next->host));
   const std::size_t size = msg.payload.size() + 32;
   net_.send(node.host(), next->host, kOverlayProto, std::move(msg), size);
 }

@@ -90,12 +90,19 @@ void PipelineNetwork::inject(const ComponentRef& ref, const event::Event& e) {
 void PipelineNetwork::dispatch(const ComponentRef& from, const event::Event& e) {
   auto it = links_.find(from);
   if (it == links_.end()) return;
+  sim::Network::SpanScope span(net_, from.host, "pipeline", "emit");
+  if (span.active()) span.annotate(from.name);
   for (const ComponentRef& to : it->second) {
     if (to.host == from.host) {
-      // Intra-node hop: processing cost only, no serialisation.
+      // Intra-node hop: processing cost only, no serialisation.  The
+      // scheduler hop breaks the synchronous call chain, so carry the
+      // ambient trace context across it explicitly.
       ++stats_.intra_node_hops;
       net_.scheduler().after(params_.processing_delay,
-                             [this, to, e]() { deliver_local(to, e); });
+                             [this, to, e, ctx = net_.current_trace()]() {
+                               sim::Network::TraceScope scope(net_, ctx);
+                               deliver_local(to, e);
+                             });
     } else {
       // Inter-node hop: the event crosses the wire as XML.
       ++stats_.inter_node_hops;
@@ -112,6 +119,10 @@ void PipelineNetwork::deliver_local(const ComponentRef& to, const event::Event& 
     ++stats_.undeliverable;
     return;
   }
+  // Matchlets emit synchronously from put(), so downstream dispatch and
+  // re-publishes nest under this span.
+  sim::Network::SpanScope span(net_, to.host, "pipeline", "put");
+  if (span.active()) span.annotate(to.name);
   c->put(e);
 }
 
@@ -123,11 +134,15 @@ void PipelineNetwork::on_message(sim::HostId host, const sim::Packet& packet) {
     ++stats_.parse_failures;
     return;
   }
-  // Charge the receive-side processing cost, then deliver.
+  // Charge the receive-side processing cost, then deliver (carrying the
+  // arrival's trace context across the scheduler hop).
   const ComponentRef to{host, msg->to_component};
-  net_.scheduler().after(params_.processing_delay, [this, to, e = std::move(parsed).value()]() {
-    deliver_local(to, e);
-  });
+  net_.scheduler().after(params_.processing_delay,
+                         [this, to, e = std::move(parsed).value(),
+                          ctx = net_.current_trace()]() {
+                           sim::Network::TraceScope scope(net_, ctx);
+                           deliver_local(to, e);
+                         });
 }
 
 }  // namespace aa::pipeline

@@ -174,6 +174,7 @@ void Broker::handle_unsubscribe(std::uint64_t id, Iface source) {
 
 void Broker::route_publish(const event::Event& e, std::optional<sim::HostId> arrival_broker) {
   ++stats_.publications_routed;
+  sim::Network::SpanScope route_span(net_, host_, "broker", "route");
   std::set<sim::HostId> forward_to;
   std::set<sim::HostId> deliver_to;
   auto route_match = [&](const Entry& entry) {
@@ -185,17 +186,24 @@ void Broker::route_publish(const event::Event& e, std::optional<sim::HostId> arr
       deliver_to.insert(entry.source.host);
     }
   };
-  if (indexed_matching_) {
-    std::vector<std::uint64_t> matched;
-    stats_.index_probes += index_.match(e, matched);
-    for (std::uint64_t id : matched) {
-      auto it = table_.find(id);
-      if (it != table_.end()) route_match(it->second);
+  {
+    sim::Network::SpanScope match_span(net_, host_, "broker", "match");
+    if (indexed_matching_) {
+      std::vector<std::uint64_t> matched;
+      stats_.index_probes += index_.match(e, matched);
+      for (std::uint64_t id : matched) {
+        auto it = table_.find(id);
+        if (it != table_.end()) route_match(it->second);
+      }
+    } else {
+      for (const auto& [id, entry] : table_) {
+        ++stats_.match_tests;
+        if (entry.filter.matches(e)) route_match(entry);
+      }
     }
-  } else {
-    for (const auto& [id, entry] : table_) {
-      ++stats_.match_tests;
-      if (entry.filter.matches(e)) route_match(entry);
+    if (match_span.active()) {
+      match_span.annotate("type=" + e.type() + ";fwd=" + std::to_string(forward_to.size()) +
+                          ";local=" + std::to_string(deliver_to.size()));
     }
   }
   const std::size_t size = e.wire_size();

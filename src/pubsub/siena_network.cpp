@@ -123,6 +123,12 @@ void SienaNetwork::unsubscribe(sim::HostId client, std::uint64_t subscription_id
 
 void SienaNetwork::publish(sim::HostId client, const event::Event& e) {
   ClientState& state = client_state(client);
+  // A client hand-off to its access broker roots a causal trace unless
+  // the publish is already part of one (e.g. a pipeline re-publish).
+  sim::Network::TraceScope root(
+      net_, net_.current_trace().active() ? net_.current_trace() : net_.start_trace());
+  sim::Network::SpanScope span(net_, client, "client", "publish");
+  if (span.active()) span.annotate("type=" + e.type());
   net_.send(client, state.access_broker, kBrokerProto, PublishMsg{e}, e.wire_size());
 }
 
@@ -172,21 +178,39 @@ void SienaNetwork::on_client_message(sim::HostId client_host, const sim::Packet&
   if (msg == nullptr) return;
   auto it = clients_.find(client_host);
   if (it == clients_.end()) return;
+  sim::Network::SpanScope span(net_, client_host, "client", "deliver");
+  // When traced, callbacks get a copy stamped with the trace metadata so
+  // application code can correlate; the wire form is never stamped.
+  const event::Event* ev = &msg->event;
+  event::Event stamped;
+  if (span.active()) {
+    stamped = msg->event;
+    stamped.set_trace(net_.current_trace().trace_id, span.id());
+    ev = &stamped;
+  }
   // One network delivery per client; dispatch locally to each matching
   // subscription's callback (in subscription-id order on both paths).
+  std::size_t dispatched = 0;
   if (indexed_matching_) {
     std::vector<std::uint64_t> matched;
     it->second.index.match(msg->event, matched);
     std::sort(matched.begin(), matched.end());
     for (std::uint64_t id : matched) {
       auto sub = it->second.subs.find(id);
-      if (sub != it->second.subs.end()) sub->second.deliver(msg->event);
+      if (sub != it->second.subs.end()) {
+        sub->second.deliver(*ev);
+        ++dispatched;
+      }
     }
   } else {
     for (const auto& [id, sub] : it->second.subs) {
-      if (sub.filter.matches(msg->event)) sub.deliver(msg->event);
+      if (sub.filter.matches(msg->event)) {
+        sub.deliver(*ev);
+        ++dispatched;
+      }
     }
   }
+  if (span.active()) span.annotate("subs=" + std::to_string(dispatched));
 }
 
 Broker* SienaNetwork::broker(sim::HostId host) {

@@ -28,6 +28,11 @@ class Histogram {
   double percentile(double p) const;
   double median() const { return percentile(50); }
 
+  /// Appends every sample of `other` (reserving up front, so merging a
+  /// hub snapshot of n histograms is O(total samples), not O(n) regrow
+  /// cycles).  Safe for self-merge.
+  void merge(const Histogram& other);
+
   void clear() {
     values_.clear();
     sorted_ = false;
@@ -55,10 +60,20 @@ class MetricsRegistry {
   }
   Histogram& histogram(const std::string& name) { return histograms_[name]; }
   const std::map<std::string, std::uint64_t>& counters() const { return counters_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+  /// Lookup without creating; nullptr when absent.
+  const Histogram* find_histogram(const std::string& name) const {
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+  }
   void clear() {
     counters_.clear();
     histograms_.clear();
   }
+
+  /// JSON object: {"counters": {name: value, ...}, "histograms":
+  /// {name: {count, mean, min, p50, p90, p99, max}, ...}}.
+  std::string to_json() const;
 
  private:
   std::map<std::string, std::uint64_t> counters_;

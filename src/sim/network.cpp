@@ -79,6 +79,26 @@ bool Network::partitioned(HostId a, HostId b) const {
   return false;
 }
 
+void Network::enable_tracing(std::uint64_t sample_every) {
+  if (tracer_ == nullptr) tracer_ = std::make_unique<obs::TraceCollector>();
+  tracer_->set_sample_every(sample_every);
+}
+
+void Network::disable_tracing() {
+  tracer_.reset();
+  current_trace_ = {};
+}
+
+obs::TraceContext Network::start_trace() {
+  return tracer_ != nullptr ? tracer_->start_trace() : obs::TraceContext{};
+}
+
+void Network::end_wire_span(const Packet& packet, const char* note) {
+  if (tracer_ == nullptr || packet.trace.parent_span == 0 || !packet.trace.active()) return;
+  if (note != nullptr) tracer_->annotate(packet.trace.parent_span, note);
+  tracer_->end(packet.trace.parent_span, sched_.now());
+}
+
 void Network::send(Packet packet) {
   // A packet refused at the source (host down, id out of range) never
   // reaches the wire: count it only as a drop, or bytes-per-delivery
@@ -87,16 +107,29 @@ void Network::send(Packet packet) {
     ++stats_.messages_dropped;
     return;
   }
+  if (tracer_ != nullptr) {
+    if (!packet.trace.active()) packet.trace = current_trace_;
+    if (packet.trace.active()) {
+      // Receiver-side spans nest under the wire hop, so the hop becomes
+      // the packet's parent for the rest of its flight.
+      const std::uint64_t wire = tracer_->begin(packet.trace, packet.src, "net",
+                                                "wire", sched_.now());
+      tracer_->annotate(wire, packet.protocol + "->h" + std::to_string(packet.dst));
+      packet.trace.parent_span = wire;
+    }
+  }
   ++stats_.messages_sent;
   stats_.bytes_sent += packet.wire_size;
   const bool loopback = packet.src == packet.dst;
   if (!loopback && partitioned(packet.src, packet.dst)) {
     ++stats_.dropped_by_fault;
+    end_wire_span(packet, "dropped:partition");
     return;
   }
   const LinkFaults* faults = loopback ? nullptr : faults_for(packet.src, packet.dst);
   if (faults != nullptr && faults->drop > 0 && fault_rng_.chance(faults->drop)) {
     ++stats_.dropped_by_fault;
+    end_wire_span(packet, "dropped:fault");
     return;
   }
   const SimDuration latency = topo_->latency(packet.src, packet.dst);
@@ -134,15 +167,23 @@ void Network::deliver(const Packet& packet, std::uint32_t incarnation) {
     // Down, or it crashed after the packet was sent: the reincarnated
     // host is a fresh endpoint and must not receive stale traffic.
     ++stats_.messages_dropped;
+    end_wire_span(packet, "dropped:dead-host");
     return;
   }
   auto it = handlers_.find(packet.protocol);
   if (it == handlers_.end() || packet.dst >= it->second.size() || !it->second[packet.dst]) {
     ++stats_.messages_dropped;
+    end_wire_span(packet, "dropped:no-handler");
     return;
   }
   ++stats_.messages_delivered;
   ++delivered_per_host_[packet.dst];
+  // First arrival closes the wire span (idempotent, so a fault-model
+  // duplicate of the same packet cannot stretch it); the handler then
+  // runs with the packet's context ambient so its spans and sends nest
+  // under this hop.
+  end_wire_span(packet, nullptr);
+  TraceScope scope(*this, tracer_ != nullptr ? packet.trace : obs::TraceContext{});
   it->second[packet.dst](packet);
 }
 

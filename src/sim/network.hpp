@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/trace.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/topology.hpp"
 
@@ -45,6 +46,10 @@ struct Packet {
   std::string protocol;
   std::any body;
   std::size_t wire_size = 0;
+  /// Causal trace context; inactive (zero) by default.  When tracing is
+  /// enabled, send() adopts the ambient context into untraced packets,
+  /// so existing call sites need no changes to participate in a trace.
+  obs::TraceContext trace{};
 };
 
 /// Typed accessor; returns nullptr on protocol mix-ups rather than
@@ -157,6 +162,89 @@ class Network {
   /// show retry overhead next to the raw traffic counters.
   void note_retransmit() { ++stats_.retransmits; }
 
+  // --- Causal tracing (obs/trace.hpp) ---
+  //
+  // Opt-in and zero-impact: with tracing enabled the network records
+  // spans but sends no extra packets and charges no extra time, so a
+  // traced run executes the identical event sequence as an untraced
+  // one.  When disabled (the default) the hot path pays one pointer
+  // compare.
+  //
+  // Propagation model: the simulation is single-threaded, so the trace
+  // context of the packet currently being delivered is globally
+  // unambiguous — deliver() installs it as the *ambient* context and
+  // send() adopts the ambient context into untraced packets.  Code
+  // that defers work through the scheduler (breaking the synchronous
+  // chain) captures current_trace() into its closure and restores it
+  // with a TraceScope; components record their hop with a SpanScope.
+
+  /// Enables tracing, creating the collector on first use.  `sample_every`
+  /// starts every n-th root trace (1 = all; see TraceCollector).
+  void enable_tracing(std::uint64_t sample_every = 1);
+  /// Drops the collector and all recorded spans.
+  void disable_tracing();
+  bool tracing_enabled() const { return tracer_ != nullptr; }
+  obs::TraceCollector* tracer() { return tracer_.get(); }
+  const obs::TraceCollector* tracer() const { return tracer_.get(); }
+
+  /// Starts a new (sampled) root trace; inactive when tracing is off.
+  obs::TraceContext start_trace();
+  /// The context of the causal chain currently executing (inactive
+  /// outside a traced delivery).
+  const obs::TraceContext& current_trace() const { return current_trace_; }
+
+  /// RAII: installs `ctx` as the ambient context, restoring the
+  /// previous one on destruction.  Used to carry a trace across a
+  /// scheduler hop: capture current_trace() into the closure, then
+  /// open a TraceScope when the closure runs.
+  class TraceScope {
+   public:
+    TraceScope(Network& net, const obs::TraceContext& ctx)
+        : net_(net), saved_(net.current_trace_) {
+      net_.current_trace_ = ctx;
+    }
+    ~TraceScope() { net_.current_trace_ = saved_; }
+    TraceScope(const TraceScope&) = delete;
+    TraceScope& operator=(const TraceScope&) = delete;
+
+   private:
+    Network& net_;
+    obs::TraceContext saved_;
+  };
+
+  /// RAII: opens a span as a child of the ambient context and makes it
+  /// the ambient parent, so nested SpanScopes and sends hang off it;
+  /// closes the span and restores the ambient context on destruction.
+  /// A no-op (span id 0) when tracing is off or no trace is ambient.
+  class SpanScope {
+   public:
+    SpanScope(Network& net, HostId host, std::string component, std::string action)
+        : net_(net), saved_(net.current_trace_) {
+      if (net_.tracer_ != nullptr && saved_.active()) {
+        span_ = net_.tracer_->begin(saved_, host, std::move(component),
+                                    std::move(action), net_.sched_.now());
+        net_.current_trace_ = obs::TraceContext{saved_.trace_id, span_};
+      }
+    }
+    ~SpanScope() {
+      if (span_ != 0) net_.tracer_->end(span_, net_.sched_.now());
+      net_.current_trace_ = saved_;
+    }
+    SpanScope(const SpanScope&) = delete;
+    SpanScope& operator=(const SpanScope&) = delete;
+
+    void annotate(const std::string& detail) {
+      if (span_ != 0) net_.tracer_->annotate(span_, detail);
+    }
+    std::uint64_t id() const { return span_; }
+    bool active() const { return span_ != 0; }
+
+   private:
+    Network& net_;
+    obs::TraceContext saved_;
+    std::uint64_t span_ = 0;
+  };
+
   void set_host_up(HostId host, bool up);
   bool host_up(HostId host) const;
   std::vector<HostId> live_hosts() const;
@@ -171,6 +259,8 @@ class Network {
   void deliver(const Packet& packet, std::uint32_t incarnation);
   /// Fault model in effect for src -> dst, or nullptr for a clean link.
   const LinkFaults* faults_for(HostId src, HostId dst) const;
+  /// Closes the packet's wire span (note != nullptr annotates first).
+  void end_wire_span(const Packet& packet, const char* note);
 
   Scheduler& sched_;
   std::shared_ptr<const Topology> topo_;
@@ -196,6 +286,8 @@ class Network {
   };
   std::vector<Partition> partitions_;
   NetworkStats stats_;
+  std::unique_ptr<obs::TraceCollector> tracer_;  // null = tracing off
+  obs::TraceContext current_trace_{};
 };
 
 }  // namespace aa::sim

@@ -42,6 +42,11 @@ void ReliableTransport::ensure_net_handler(HostId host) {
 void ReliableTransport::send(Packet packet) {
   packet.protocol = protocol_;
   ensure_net_handler(packet.src);
+  // Adopt the ambient trace context now: retransmissions fire from a
+  // timer, where the originating context is no longer ambient.
+  if (net_.tracing_enabled() && !packet.trace.active()) {
+    packet.trace = net_.current_trace();
+  }
   const std::uint64_t seq = next_seq_++;
   Pending pending;
   pending.packet = std::move(packet);
@@ -55,7 +60,7 @@ void ReliableTransport::transmit(std::uint64_t seq) {
   Pending& pending = pending_.at(seq);
   const Packet& p = pending.packet;
   net_.send(Packet{p.src, p.dst, protocol_, std::any(DataMsg{seq, p.body, p.wire_size}),
-                   p.wire_size + kHeaderBytes});
+                   p.wire_size + kHeaderBytes, p.trace});
   pending.timer = net_.scheduler().after(pending.rto, [this, seq]() { on_timeout(seq); });
 }
 
@@ -74,6 +79,16 @@ void ReliableTransport::on_timeout(std::uint64_t seq) {
   ++pending.retries;
   ++stats_.retransmits;
   net_.note_retransmit();
+  if (auto* tracer = net_.tracer(); tracer != nullptr && pending.packet.trace.active()) {
+    // Instant span marking the retry; the fresh wire span for the copy
+    // is recorded by net_.send below as usual.
+    const SimTime now = net_.scheduler().now();
+    const std::uint64_t s = tracer->begin(pending.packet.trace, pending.packet.src,
+                                          "transport", "retransmit", now);
+    tracer->annotate(s, "seq=" + std::to_string(seq) +
+                            ";try=" + std::to_string(pending.retries));
+    tracer->end(s, now);
+  }
   pending.rto = std::min(static_cast<SimDuration>(static_cast<double>(pending.rto) *
                                                   params_.backoff),
                          params_.max_rto);
@@ -90,7 +105,11 @@ void ReliableTransport::on_network(HostId host, const Packet& packet) {
       return;
     }
     if (host < handlers_.size() && handlers_[host]) {
-      handlers_[host](Packet{packet.src, host, protocol_, data->body, data->body_wire});
+      // The unwrapped packet keeps the arrival's trace context, so the
+      // user handler's spans nest under the (single) delivering wire hop
+      // even when earlier copies of this seq were dropped or suppressed.
+      handlers_[host](
+          Packet{packet.src, host, protocol_, data->body, data->body_wire, packet.trace});
     }
   } else if (const auto* ack = packet_body<AckMsg>(packet)) {
     auto it = pending_.find(ack->seq);

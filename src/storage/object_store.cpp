@@ -250,6 +250,7 @@ void ObjectStore::handle_put_at_root(sim::HostId root, const ObjectId& id, Bytes
   const overlay::OverlayNode* node = overlay_.node_at(root);
   if (node == nullptr) return;
 
+  sim::Network::SpanScope span(net_, root, "store", "replicate");
   int copies = 0;
   if (params_.erasure) {
     const auto fragments = coder_->encode(data);
@@ -276,6 +277,9 @@ void ObjectStore::handle_put_at_root(sim::HostId root, const ObjectId& id, Bytes
       }
       ++copies;
     }
+  }
+  if (span.active()) {
+    span.annotate((params_.erasure ? "fragments=" : "replicas=") + std::to_string(copies));
   }
   net_.send(root, requester, kDirectProto, PutAckMsg{request_id, id, copies}, 36);
 }
@@ -405,6 +409,10 @@ void ObjectStore::healing_sweep() {
       if (node->next_hop(id).has_value()) continue;
       const Bytes* data = store_node->replica(id);
       if (data == nullptr) continue;
+      // Each healing push roots its own (sampled) trace: the sweep runs
+      // from a timer, so there is no ambient context to inherit.
+      sim::Network::TraceScope root_trace(net_, net_.start_trace());
+      sim::Network::SpanScope span(net_, host, "store", "heal");
       for (const auto& target : node->replica_set(id, params_.replicas)) {
         if (target.host == host) continue;
         send_repair(host, target.host, ReplicaStoreMsg{id, *data, true},

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/trace.hpp"
 #include "pubsub/siena_network.hpp"
 #include "sim/churn.hpp"
 #include "storage/object_store.hpp"
@@ -58,17 +59,20 @@ struct ScenarioResult {
   std::uint64_t give_ups = 0;
   std::uint64_t retransmits = 0;
   std::uint64_t dropped_by_fault = 0;
+  std::uint64_t deliver_spans = 0;  // only populated when tracing is on
 };
 
 // One full pub/sub run.  `mutate` (optional) is invoked right after the
 // subscription tables quiesce, with the network and scheduler — chaos
 // scenarios install faults and schedule partition cuts/heals there.
 ScenarioResult run_scenario(bool reliable,
-                            std::function<void(sim::Network&, sim::Scheduler&)> mutate) {
+                            std::function<void(sim::Network&, sim::Scheduler&)> mutate,
+                            bool tracing = false) {
   ScenarioResult result;
   sim::Scheduler sched;
   auto topo = std::make_shared<sim::UniformTopology>(kHosts, duration::millis(5));
   sim::Network net(sched, topo);
+  if (tracing) net.enable_tracing();
   SienaNetwork ps(net, {0, 1, 2, 3, 4, 5, 6, 7});
   ps.connect_tree(2);  // edges: 0-1, 0-2, 1-3, 1-4, 2-5, 2-6, 3-7
   if (reliable) ps.enable_reliable_transport(chaos_reliable_params());
@@ -108,6 +112,11 @@ ScenarioResult run_scenario(bool reliable,
   }
   result.retransmits = net.stats().retransmits;
   result.dropped_by_fault = net.stats().dropped_by_fault;
+  if (const obs::TraceCollector* tc = net.tracer()) {
+    for (const obs::Span& s : tc->spans()) {
+      if (s.action == "deliver") ++result.deliver_spans;
+    }
+  }
   return result;
 }
 
@@ -169,6 +178,25 @@ TEST(Chaos, KilledLinkConvergesAfterRestore) {
   EXPECT_EQ(chaos.digest, oracle.digest);
   EXPECT_EQ(chaos.give_ups, 0u);
   EXPECT_GT(chaos.retransmits, 0u);
+}
+
+TEST(Chaos, TracingIsPureObservation) {
+  // Tracing must not perturb the simulation: the same chaos scenario
+  // run with tracing on yields a bit-identical delivery digest and the
+  // identical fault/retry counters — while actually recording spans
+  // (one deliver span per delivery, duplicates deduped before spans).
+  const auto scenario = [](sim::Network& net, sim::Scheduler& sched) {
+    install_chaos(5, net, sched);
+  };
+  const ScenarioResult off = run_scenario(/*reliable=*/true, scenario, /*tracing=*/false);
+  const ScenarioResult on = run_scenario(/*reliable=*/true, scenario, /*tracing=*/true);
+  EXPECT_EQ(on.digest, off.digest);
+  EXPECT_EQ(on.deliveries, off.deliveries);
+  EXPECT_EQ(on.give_ups, off.give_ups);
+  EXPECT_EQ(on.retransmits, off.retransmits);
+  EXPECT_EQ(on.dropped_by_fault, off.dropped_by_fault);
+  EXPECT_EQ(off.deliver_spans, 0u);
+  EXPECT_EQ(on.deliver_spans, on.deliveries);
 }
 
 TEST(Chaos, RawPathDivergesUnderFaults) {

@@ -1,0 +1,373 @@
+// Tests for the aa::obs layer: trace collection, Chrome-JSON export +
+// validation, per-delivery metrics, the metrics hub plumbing, the
+// sim-time logger clock, and — end to end — causal traces threading
+// broker routing, pipelines, reliable retransmission and delivery.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+#include "event/filter_parser.hpp"
+#include "gloss/active_architecture.hpp"
+#include "obs/metrics_hub.hpp"
+#include "obs/trace.hpp"
+#include "pubsub/siena_network.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network.hpp"
+#include "sim/reliable.hpp"
+
+namespace aa {
+namespace {
+
+using event::Event;
+using event::Filter;
+using event::Op;
+
+// --- TraceCollector core ---
+
+TEST(Trace, SpansNestAndCloseIdempotently) {
+  obs::TraceCollector tc;
+  const obs::TraceContext root = tc.start_trace();
+  ASSERT_TRUE(root.active());
+
+  const std::uint64_t a = tc.begin(root, 3, "client", "publish", 100);
+  const std::uint64_t b = tc.begin({root.trace_id, a}, 3, "net", "wire", 100);
+  tc.end(b, 150);
+  tc.end(b, 999);  // idempotent: a duplicated packet cannot stretch the span
+  tc.annotate(b, "p->h4");
+  tc.annotate(b, "dup");
+  tc.end(a, 150);
+
+  ASSERT_EQ(tc.spans().size(), 2u);
+  EXPECT_EQ(tc.span(b)->parent, a);
+  EXPECT_EQ(tc.span(b)->end, 150);
+  EXPECT_EQ(tc.span(b)->detail, "p->h4;dup");
+  EXPECT_EQ(tc.span(a)->parent, 0u);
+  EXPECT_EQ(tc.trace(root.trace_id).size(), 2u);
+}
+
+TEST(Trace, InactiveContextIsFree) {
+  obs::TraceCollector tc;
+  EXPECT_EQ(tc.begin(obs::TraceContext{}, 0, "x", "y", 0), 0u);
+  EXPECT_TRUE(tc.spans().empty());
+}
+
+TEST(Trace, SamplingAdmitsEveryNth) {
+  obs::TraceCollector tc;
+  tc.set_sample_every(3);
+  int active = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (tc.start_trace().active()) ++active;
+  }
+  EXPECT_EQ(active, 3);
+  tc.set_sample_every(0);  // stop admitting new traces entirely
+  EXPECT_FALSE(tc.start_trace().active());
+}
+
+TEST(Trace, DeliveryMetricsBreakDownTheChain) {
+  obs::TraceCollector tc;
+  const obs::TraceContext root = tc.start_trace();
+  const std::uint64_t pub = tc.begin(root, 0, "client", "publish", 0);
+  const std::uint64_t wire = tc.begin({root.trace_id, pub}, 0, "net", "wire", 0);
+  tc.end(wire, 10);
+  const std::uint64_t del = tc.begin({root.trace_id, wire}, 1, "client", "deliver", 15);
+  tc.end(del, 15);
+  tc.end(pub, 0);
+
+  const auto metrics = tc.delivery_metrics();
+  ASSERT_EQ(metrics.size(), 1u);
+  EXPECT_EQ(metrics[0].trace_id, root.trace_id);
+  EXPECT_EQ(metrics[0].host, 1u);
+  EXPECT_EQ(metrics[0].hops, 1);
+  EXPECT_EQ(metrics[0].total, 15);
+  EXPECT_EQ(metrics[0].wire, 10);
+  EXPECT_EQ(metrics[0].match, 0);
+  EXPECT_EQ(metrics[0].queue, 5);
+}
+
+// --- Chrome JSON export + validator ---
+
+TEST(TraceValidator, AcceptsCollectorExport) {
+  obs::TraceCollector tc;
+  const obs::TraceContext root = tc.start_trace();
+  const std::uint64_t a = tc.begin(root, 0, "client", "publish", 5);
+  const std::uint64_t b = tc.begin({root.trace_id, a}, 0, "net", "wire", 5);
+  tc.annotate(b, "quoted \"detail\"\nline");
+  tc.end(b, 25);
+  tc.end(a, 5);
+  tc.begin({root.trace_id, b}, 1, "client", "deliver", 25);  // left open
+
+  std::istringstream in(tc.chrome_json());
+  const auto problems = obs::validate_chrome_trace(in);
+  EXPECT_TRUE(problems.empty()) << (problems.empty() ? "" : problems.front());
+}
+
+TEST(TraceValidator, RejectsMalformedJson) {
+  std::istringstream in("{\"traceEvents\":[");
+  EXPECT_FALSE(obs::validate_chrome_trace(in).empty());
+}
+
+TEST(TraceValidator, RejectsMissingParent) {
+  std::istringstream in(R"({"traceEvents":[
+    {"name":"deliver","ph":"X","ts":5,"dur":0,"pid":0,"tid":1,
+     "args":{"trace":1,"span":2,"parent":7}}]})");
+  const auto problems = obs::validate_chrome_trace(in);
+  ASSERT_FALSE(problems.empty());
+}
+
+TEST(TraceValidator, RejectsDuplicateSpanIds) {
+  std::istringstream in(R"({"traceEvents":[
+    {"name":"a","ph":"X","ts":0,"dur":0,"pid":0,"tid":1,"args":{"trace":1,"span":1,"parent":0}},
+    {"name":"b","ph":"X","ts":1,"dur":0,"pid":0,"tid":1,"args":{"trace":1,"span":1,"parent":0}}]})");
+  EXPECT_FALSE(obs::validate_chrome_trace(in).empty());
+}
+
+TEST(TraceValidator, RejectsChildStartingBeforeParent) {
+  std::istringstream in(R"({"traceEvents":[
+    {"name":"a","ph":"X","ts":100,"dur":0,"pid":0,"tid":1,"args":{"trace":1,"span":1,"parent":0}},
+    {"name":"b","ph":"X","ts":50,"dur":0,"pid":0,"tid":1,"args":{"trace":1,"span":2,"parent":1}}]})");
+  EXPECT_FALSE(obs::validate_chrome_trace(in).empty());
+}
+
+TEST(TraceValidator, RejectsCrossTraceParent) {
+  std::istringstream in(R"({"traceEvents":[
+    {"name":"a","ph":"X","ts":0,"dur":0,"pid":0,"tid":1,"args":{"trace":1,"span":1,"parent":0}},
+    {"name":"b","ph":"X","ts":1,"dur":0,"pid":0,"tid":2,"args":{"trace":2,"span":2,"parent":1}}]})");
+  EXPECT_FALSE(obs::validate_chrome_trace(in).empty());
+}
+
+// --- Histogram::merge (satellite b) ---
+
+TEST(Metrics, HistogramMergePreservesPercentiles) {
+  sim::Histogram low, high, all;
+  for (int i = 1; i <= 50; ++i) {
+    low.record(i);
+    all.record(i);
+  }
+  for (int i = 51; i <= 100; ++i) {
+    high.record(i);
+    all.record(i);
+  }
+  // Percentile queries sort lazily; merging *after* a query must still
+  // include the merged samples in the next query.
+  const double pre_merge_p50 = low.percentile(50);
+  low.merge(high);
+  EXPECT_GT(low.percentile(50), pre_merge_p50);
+  EXPECT_EQ(low.count(), 100u);
+  EXPECT_DOUBLE_EQ(low.percentile(50), all.percentile(50));
+  EXPECT_DOUBLE_EQ(low.percentile(99), all.percentile(99));
+  EXPECT_DOUBLE_EQ(low.max(), 100.0);
+
+  sim::Histogram empty;
+  low.merge(empty);  // merging nothing changes nothing
+  EXPECT_EQ(low.count(), 100u);
+
+  sim::Histogram self;
+  self.record(1);
+  self.record(3);
+  self.merge(self);  // self-merge doubles the samples, keeps quantiles
+  EXPECT_EQ(self.count(), 4u);
+  EXPECT_DOUBLE_EQ(self.max(), 3.0);
+}
+
+// --- MetricsRegistry JSON + accessors (satellite c) ---
+
+TEST(Metrics, RegistryToJsonRoundTrip) {
+  sim::MetricsRegistry reg;
+  reg.add("net.messages_sent", 7);
+  reg.add("broker.routed", 3);
+  reg.histogram("trace.hops").record(2);
+  reg.histogram("trace.hops").record(4);
+
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"net.messages_sent\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"broker.routed\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"trace.hops\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos) << json;
+
+  // Const accessors see the same data, without creating entries.
+  const sim::MetricsRegistry& cref = reg;
+  ASSERT_NE(cref.find_histogram("trace.hops"), nullptr);
+  EXPECT_EQ(cref.find_histogram("trace.hops")->count(), 2u);
+  EXPECT_EQ(cref.find_histogram("absent"), nullptr);
+  EXPECT_EQ(cref.histograms().size(), 1u);
+
+  // Round-trip: rebuilding a registry from the accessors reproduces the
+  // exact same JSON document.
+  sim::MetricsRegistry rebuilt;
+  for (const auto& [name, value] : cref.counters()) rebuilt.add(name, value);
+  for (const auto& [name, h] : cref.histograms()) rebuilt.histogram(name).merge(h);
+  EXPECT_EQ(rebuilt.to_json(), json);
+}
+
+TEST(Metrics, HubSnapshotsEverySource) {
+  obs::MetricsHub hub;
+  sim::NetworkStats net;
+  net.messages_sent = 11;
+  hub.add_stats("net", net);
+  hub.add_source([](sim::MetricsRegistry& reg) { reg.add("custom.flag", 1); });
+  EXPECT_EQ(hub.source_count(), 2u);
+
+  const sim::MetricsRegistry reg = hub.snapshot();
+  EXPECT_EQ(reg.counter("net.messages_sent"), 11u);
+  EXPECT_EQ(reg.counter("custom.flag"), 1u);
+}
+
+// --- Logger sim-time clock (satellite a) ---
+
+TEST(Logging, ClockPrefixesLinesWithSimTime) {
+  std::vector<std::string> lines;
+  Logger::set_sink([&lines](const std::string& line) { lines.push_back(line); });
+  Logger::set_clock([]() { return std::int64_t{1234}; });
+  const LogLevel saved = Logger::level();
+  Logger::set_level(LogLevel::kInfo);
+
+  AA_INFO("test") << "hello";
+  Logger::set_clock(nullptr);
+  AA_INFO("test") << "later";
+
+  Logger::set_level(saved);
+  Logger::set_sink(nullptr);
+
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].rfind("[t=1234us] ", 0), 0u) << lines[0];
+  EXPECT_NE(lines[0].find("hello"), std::string::npos);
+  EXPECT_EQ(lines[1].find("[t="), std::string::npos) << lines[1];
+}
+
+// --- Trace propagation through retransmission (satellite d) ---
+
+TEST(Tracing, RetransmitDedupKeepsOneDeliverSpanPerDelivery) {
+  sim::Scheduler sched;
+  auto topo = std::make_shared<sim::UniformTopology>(2, duration::millis(5));
+  sim::Network net(sched, topo);
+  pubsub::SienaNetwork ps(net, {0, 1});
+  ps.connect_tree();
+  sim::ReliableParams rp;
+  rp.initial_rto = duration::millis(20);
+  rp.backoff = 2.0;
+  rp.max_rto = duration::millis(500);
+  rp.max_retries = 20;
+  ps.enable_reliable_transport(rp);
+
+  ps.attach_client(0, 0);
+  ps.attach_client(1, 1);
+  int delivered = 0;
+  ps.subscribe(1, Filter().where("type", Op::kEq, "ping"),
+               [&delivered](const Event&) { ++delivered; });
+  sched.run();
+  net.reset_stats();
+
+  net.enable_tracing();
+  // Lossy, duplicating broker-broker link: retries recover the drops and
+  // receiver-side dedup must swallow the duplicates *before* any deliver
+  // span is recorded.
+  net.set_link_faults(0, 1, sim::LinkFaults{.drop = 0.3, .duplicate = 0.4, .seed = 99});
+
+  constexpr int kEvents = 20;
+  for (int i = 0; i < kEvents; ++i) {
+    Event e("ping");
+    e.set("n", i);
+    ps.publish(0, e);
+    sched.run();
+  }
+
+  ASSERT_EQ(delivered, kEvents);
+  const obs::TraceCollector* tc = net.tracer();
+  ASSERT_NE(tc, nullptr);
+  int deliver_spans = 0, retransmit_spans = 0;
+  for (const obs::Span& s : tc->spans()) {
+    if (s.action == "deliver") ++deliver_spans;
+    if (s.action == "retransmit") ++retransmit_spans;
+  }
+  // The faults were real — retries happened and duplicates arrived — yet
+  // exactly one deliver span per delivery survived.
+  EXPECT_EQ(deliver_spans, kEvents);
+  EXPECT_GT(retransmit_spans, 0);
+  ASSERT_NE(ps.reliable_transport(), nullptr);
+  EXPECT_GT(ps.reliable_transport()->stats().retransmits, 0u);
+  EXPECT_GT(ps.reliable_transport()->stats().duplicates_suppressed, 0u);
+  EXPECT_EQ(ps.reliable_transport()->stats().give_ups, 0u);
+
+  std::istringstream in(tc->chrome_json());
+  EXPECT_TRUE(obs::validate_chrome_trace(in).empty());
+}
+
+// --- End to end through the facade ---
+
+TEST(Tracing, FacadeTraceThreadsBrokerPipelineAndDelivery) {
+  gloss::ActiveArchitecture::Config config;
+  config.hosts = 8;
+  config.brokers = 2;
+  config.regions = 2;
+  gloss::ActiveArchitecture arch(config);
+  arch.enable_tracing();
+
+  match::Rule rule;
+  rule.name = "echo";
+  rule.triggers = {{"p", event::parse_filter("type = ping").value(), duration::minutes(2)}};
+  rule.emit.type = "pong";
+
+  gloss::ServiceSpec spec;
+  spec.name = "echo";
+  spec.input = event::parse_filter("type = ping").value();
+  spec.rules = {rule};
+  arch.deploy_service(spec);
+  arch.run_for(duration::seconds(30));
+
+  int delivered = 0;
+  std::uint64_t delivered_trace = 0;
+  arch.subscribe_user(5, event::parse_filter("type = pong").value(),
+                      [&](const Event& e) {
+                        ++delivered;
+                        delivered_trace = e.trace_id();
+                      });
+  arch.run_for(duration::seconds(5));
+
+  for (int i = 0; i < 5; ++i) {
+    Event ping("ping");
+    ping.set("n", i);
+    arch.publish(3, ping);
+    arch.run_for(duration::seconds(2));
+  }
+  arch.run_for(duration::seconds(5));
+
+  ASSERT_GT(delivered, 0);
+  // Delivered events carry their trace coordinates as attributes.
+  EXPECT_NE(delivered_trace, 0u);
+
+  const obs::TraceCollector* tc = arch.network().tracer();
+  ASSERT_NE(tc, nullptr);
+
+  // Some single trace must witness the whole path: broker routing, the
+  // pipeline handing the event to a component, and final delivery.
+  bool full_path = false;
+  for (std::uint64_t tid = 1; tid <= tc->trace_count() && !full_path; ++tid) {
+    bool route = false, put = false, deliver = false;
+    for (const obs::Span* s : tc->trace(tid)) {
+      route |= s->component == "broker" && s->action == "route";
+      put |= s->component == "pipeline" && s->action == "put";
+      deliver |= s->component == "client" && s->action == "deliver";
+    }
+    full_path = route && put && deliver;
+  }
+  EXPECT_TRUE(full_path);
+
+  // Derived per-delivery metrics exist and crossed at least one wire.
+  const auto dm = tc->delivery_metrics();
+  ASSERT_FALSE(dm.empty());
+  bool some_hops = false;
+  for (const auto& m : dm) some_hops |= m.hops > 0;
+  EXPECT_TRUE(some_hops);
+
+  // The export validates.
+  std::istringstream in(tc->chrome_json());
+  const auto problems = obs::validate_chrome_trace(in);
+  EXPECT_TRUE(problems.empty()) << (problems.empty() ? "" : problems.front());
+}
+
+}  // namespace
+}  // namespace aa

@@ -1,0 +1,30 @@
+// trace_validate — standalone checker for exported Chrome trace JSON.
+//
+// Usage: trace_validate <trace.json> [...]
+//
+// Runs the same structural checks the benches apply before declaring a
+// trace good (span nesting, monotonic timestamps, unique ids, parent
+// links within one trace) and prints every problem found.  Exit code 0
+// when every file validates, 1 otherwise — suitable for CI.
+#include <cstdio>
+
+#include "obs/trace.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <trace.json> [...]\n", argv[0]);
+    return 2;
+  }
+  bool all_ok = true;
+  for (int i = 1; i < argc; ++i) {
+    const auto problems = aa::obs::validate_chrome_trace_file(argv[i]);
+    if (problems.empty()) {
+      std::printf("%s: OK\n", argv[i]);
+      continue;
+    }
+    all_ok = false;
+    std::printf("%s: %zu problem(s)\n", argv[i], problems.size());
+    for (const auto& p : problems) std::printf("  - %s\n", p.c_str());
+  }
+  return all_ok ? 0 : 1;
+}
