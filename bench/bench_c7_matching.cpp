@@ -9,6 +9,10 @@
 // facts, against the naive full-rescan baseline (run at small scale
 // only; its cost explodes exactly as the paper warns).
 #include <chrono>
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <new>
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
@@ -17,6 +21,37 @@
 #include "event/filter_parser.hpp"
 #include "match/engine.hpp"
 #include "match/naive_engine.hpp"
+#include "xml/xml.hpp"
+
+// --- Global allocation counter (section d) ---
+//
+// Every heap allocation in this binary bumps g_alloc_count, so the
+// representation micro-bench can report allocations per event for the
+// old map-based layout vs the interned COW core.  Counting happens in
+// the bench only; the library itself is untouched.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t n, std::align_val_t al) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(al);
+  const std::size_t rounded = (n + a - 1) / a * a;
+  if (void* p = std::aligned_alloc(a, rounded ? rounded : a)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 using namespace aa;
 
@@ -83,6 +118,33 @@ std::vector<event::Event> make_stream(int events, int users, Rng& rng) {
   }
   return stream;
 }
+
+// The pre-refactor event layout, reconstructed for comparison: one
+// std::map node per attribute, string-keyed lookups, and a fresh XML
+// rendering on every send (no wire-size cache, deep copy per fan-out).
+struct MapEvent {
+  std::map<std::string, event::AttrValue> attrs;
+
+  MapEvent& set(const std::string& name, event::AttrValue v) {
+    attrs[name] = std::move(v);
+    return *this;
+  }
+  const event::AttrValue* get(const std::string& name) const {
+    auto it = attrs.find(name);
+    return it == attrs.end() ? nullptr : &it->second;
+  }
+  std::size_t wire_size() const {
+    xml::Element root("event");
+    for (const auto& [name, value] : attrs) {
+      xml::Element attr("attr");
+      attr.set_attribute("name", name);
+      attr.set_attribute("type", event::value_type_name(value.type()));
+      attr.set_attribute("value", value.to_text());
+      root.add_child(std::move(attr));
+    }
+    return xml::to_string(root).size();
+  }
+};
 
 double wall_us(const std::chrono::steady_clock::time_point& start) {
   return std::chrono::duration_cast<std::chrono::microseconds>(
@@ -212,6 +274,97 @@ int main() {
              bench::fmt("%.0f", static_cast<double>(probes) / 2000.0),
              bench::fmt("%.0f", static_cast<double>(tests) / 2000.0),
              index_matched == scan_matched ? "yes" : "NO"});
+  }
+
+  std::printf("\n(d) Event representation: map-per-event vs interned COW core\n"
+              "    (2000 events: construct 6 attrs + match 20 filters + fan-out x8):\n");
+  {
+    constexpr int kEvents = 2000;
+    constexpr int kFanOut = 8;
+    constexpr int kFilters = 20;
+
+    // Parallel filter banks: string-keyed equality checks for the map
+    // layout, real AtomId-probing Filters for the COW core.
+    std::vector<std::pair<std::string, std::string>> map_filters;
+    std::vector<event::Filter> cow_filters;
+    for (int i = 0; i < kFilters; ++i) {
+      const std::string want = "t" + std::to_string(i % 4);
+      map_filters.emplace_back("type", want);
+      cow_filters.push_back(event::Filter().where("type", event::Op::kEq, want));
+    }
+
+    auto attr_val = [](int i, int k) {
+      switch (k) {
+        case 0: return event::AttrValue("user" + std::to_string(i % 97));
+        case 1: return event::AttrValue(17.25 + i % 13);
+        case 2: return event::AttrValue(static_cast<std::int64_t>(i));
+        default: return event::AttrValue(i % 3 == 0);
+      }
+    };
+
+    // Map layout: every set allocates a tree node, every fan-out hop
+    // deep-copies the map and re-renders the XML to price the packet.
+    std::uint64_t map_matches = 0, map_bytes = 0;
+    const std::uint64_t map_alloc_start = g_alloc_count.load();
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kEvents; ++i) {
+      MapEvent e;
+      e.set("type", event::AttrValue("t" + std::to_string(i % 4)));
+      e.set("user", attr_val(i, 0)).set("celsius", attr_val(i, 1));
+      e.set("floor", attr_val(i, 2)).set("indoors", attr_val(i, 3));
+      e.set("key", event::AttrValue("p" + std::to_string(i)));
+      for (const auto& [name, want] : map_filters) {
+        const event::AttrValue* v = e.get(name);
+        if (v != nullptr && v->is_string() && v->str() == want) ++map_matches;
+      }
+      for (int hop = 0; hop < kFanOut; ++hop) {
+        MapEvent packet = e;  // deep copy, one node per attribute
+        map_bytes += packet.wire_size();  // re-serialises every hop
+      }
+    }
+    const double map_us = wall_us(start) / kEvents;
+    const std::uint64_t map_allocs = g_alloc_count.load() - map_alloc_start;
+
+    // COW core: one shared payload per event, handle copies per hop,
+    // one cached XML rendering regardless of fan-out.
+    std::uint64_t cow_matches = 0, cow_bytes = 0;
+    const std::uint64_t cow_alloc_start = g_alloc_count.load();
+    start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kEvents; ++i) {
+      event::Event e("t" + std::to_string(i % 4));
+      e.set("user", attr_val(i, 0)).set("celsius", attr_val(i, 1));
+      e.set("floor", attr_val(i, 2)).set("indoors", attr_val(i, 3));
+      e.set("key", event::AttrValue("p" + std::to_string(i)));
+      for (const event::Filter& f : cow_filters) {
+        if (f.matches(e)) ++cow_matches;
+      }
+      for (int hop = 0; hop < kFanOut; ++hop) {
+        event::Event packet = e;  // handle copy, payload shared
+        cow_bytes += packet.wire_size();  // rendered once, then cached
+      }
+    }
+    const double cow_us = wall_us(start) / kEvents;
+    const std::uint64_t cow_allocs = g_alloc_count.load() - cow_alloc_start;
+
+    const double alloc_ratio =
+        static_cast<double>(map_allocs) / static_cast<double>(cow_allocs ? cow_allocs : 1);
+    bench::Table repr({"repr", "allocs/ev", "us/ev", "matches", "bytes"});
+    repr.row({"map+reserialize", bench::fmt("%.1f", static_cast<double>(map_allocs) / kEvents),
+              bench::fmt("%.2f", map_us), bench::fmt("%llu", (unsigned long long)map_matches),
+              bench::fmt("%llu", (unsigned long long)map_bytes)});
+    repr.row({"interned-cow", bench::fmt("%.1f", static_cast<double>(cow_allocs) / kEvents),
+              bench::fmt("%.2f", cow_us), bench::fmt("%llu", (unsigned long long)cow_matches),
+              bench::fmt("%llu", (unsigned long long)cow_bytes)});
+    std::printf("  allocation ratio (map/cow): %.1fx %s\n", alloc_ratio,
+                alloc_ratio >= 2.0 ? "(>=2x target met)" : "(BELOW 2x TARGET)");
+
+    sim::MetricsRegistry reg;
+    reg.add("repr.events", kEvents);
+    reg.add("repr.fanout", kFanOut);
+    reg.add("repr.map_allocs", map_allocs);
+    reg.add("repr.cow_allocs", cow_allocs);
+    reg.add("repr.alloc_ratio_x10", static_cast<std::uint64_t>(alloc_ratio * 10.0));
+    bench::metrics_line("C7 repr fanout=8", reg);
   }
 
   std::printf("\nShape check: the incremental engine's per-event cost is flat in\n"

@@ -1,63 +1,149 @@
 #include "event/event.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <sstream>
+#include <vector>
 
 namespace aa::event {
 
-Event::Event(std::string type) { set("type", std::move(type)); }
+namespace {
 
-Event& Event::set(std::string name, AttrValue value) {
-  attrs_[std::move(name)] = std::move(value);
+std::atomic<std::uint64_t> g_serializations{0};
+
+/// Attribute indices in name order — the wire form's canonical order,
+/// independent of interning order (see atom.hpp).
+template <typename AttrList>
+std::vector<std::uint32_t> name_order(const AttrList& attrs) {
+  std::vector<std::uint32_t> order(attrs.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return atom_name(attrs[a].first) < atom_name(attrs[b].first);
+  });
+  return order;
+}
+
+}  // namespace
+
+struct Event::EventData {
+  AttrList attrs;  // sorted by AtomId, unique keys
+  // Lazily-computed XML length; 0 = unknown.  Written through shared
+  // handles on first use — benign in the single-threaded simulator (and
+  // idempotent: every writer stores the same value).
+  mutable std::size_t wire_cache = 0;
+
+  Attr* find(AtomId atom) {
+    auto it = std::lower_bound(
+        attrs.begin(), attrs.end(), atom,
+        [](const Attr& a, AtomId id) { return a.first < id; });
+    return it != attrs.end() && it->first == atom ? it : nullptr;
+  }
+  const Attr* find(AtomId atom) const {
+    return const_cast<EventData*>(this)->find(atom);
+  }
+};
+
+Event::Event(std::string type) { set(type_atom(), std::move(type)); }
+
+const Event::AttrList& Event::attributes() const {
+  static const AttrList kEmpty;
+  return data_ == nullptr ? kEmpty : data_->attrs;
+}
+
+Event::EventData& Event::mutable_data() {
+  if (data_ == nullptr) {
+    data_ = std::make_shared<EventData>();
+  } else if (data_.use_count() > 1) {
+    data_ = std::make_shared<EventData>(*data_);
+  }
+  data_->wire_cache = 0;
+  return *data_;
+}
+
+Event& Event::set(AtomId atom, AttrValue value) {
+  EventData& d = mutable_data();
+  if (Attr* existing = d.find(atom)) {
+    existing->second = std::move(value);
+    return *this;
+  }
+  auto it = std::lower_bound(
+      d.attrs.begin(), d.attrs.end(), atom,
+      [](const Attr& a, AtomId id) { return a.first < id; });
+  d.attrs.insert(it, Attr{atom, std::move(value)});
   return *this;
 }
 
-const AttrValue* Event::get(const std::string& name) const {
-  auto it = attrs_.find(name);
-  return it == attrs_.end() ? nullptr : &it->second;
+Event& Event::set(std::string_view name, AttrValue value) {
+  return set(intern(name), std::move(value));
 }
 
-std::optional<std::string> Event::get_string(const std::string& name) const {
-  const AttrValue* v = get(name);
+const AttrValue* Event::get(AtomId atom) const {
+  if (data_ == nullptr) return nullptr;
+  const Attr* a = data_->find(atom);
+  return a == nullptr ? nullptr : &a->second;
+}
+
+const AttrValue* Event::get(std::string_view name) const {
+  const AtomId atom = lookup_atom(name);
+  return atom == kNoAtom ? nullptr : get(atom);
+}
+
+std::optional<std::string> Event::get_string(AtomId atom) const {
+  const AttrValue* v = get(atom);
   if (v == nullptr || !v->is_string()) return std::nullopt;
   return v->str();
 }
 
-std::optional<std::int64_t> Event::get_int(const std::string& name) const {
-  const AttrValue* v = get(name);
+std::optional<std::int64_t> Event::get_int(AtomId atom) const {
+  const AttrValue* v = get(atom);
   if (v == nullptr || !v->is_int()) return std::nullopt;
   return v->integer();
 }
 
-std::optional<double> Event::get_real(const std::string& name) const {
-  const AttrValue* v = get(name);
+std::optional<double> Event::get_real(AtomId atom) const {
+  const AttrValue* v = get(atom);
   if (v == nullptr || !v->is_numeric()) return std::nullopt;
   return v->as_real();
 }
 
-std::optional<bool> Event::get_bool(const std::string& name) const {
-  const AttrValue* v = get(name);
+std::optional<bool> Event::get_bool(AtomId atom) const {
+  const AttrValue* v = get(atom);
   if (v == nullptr || !v->is_bool()) return std::nullopt;
   return v->boolean();
 }
 
-Event& Event::set_trace(std::uint64_t trace_id, std::uint64_t span_id) {
-  set(kTraceIdAttr, static_cast<std::int64_t>(trace_id));
-  return set(kTraceSpanAttr, static_cast<std::int64_t>(span_id));
+std::optional<std::string> Event::get_string(std::string_view name) const {
+  const AtomId atom = lookup_atom(name);
+  return atom == kNoAtom ? std::nullopt : get_string(atom);
 }
 
-std::uint64_t Event::trace_id() const {
-  return static_cast<std::uint64_t>(get_int(kTraceIdAttr).value_or(0));
+std::optional<std::int64_t> Event::get_int(std::string_view name) const {
+  const AtomId atom = lookup_atom(name);
+  return atom == kNoAtom ? std::nullopt : get_int(atom);
 }
 
-std::uint64_t Event::trace_span() const {
-  return static_cast<std::uint64_t>(get_int(kTraceSpanAttr).value_or(0));
+std::optional<double> Event::get_real(std::string_view name) const {
+  const AtomId atom = lookup_atom(name);
+  return atom == kNoAtom ? std::nullopt : get_real(atom);
+}
+
+std::optional<bool> Event::get_bool(std::string_view name) const {
+  const AtomId atom = lookup_atom(name);
+  return atom == kNoAtom ? std::nullopt : get_bool(atom);
+}
+
+bool Event::operator==(const Event& other) const {
+  if (data_ == other.data_) return true;
+  return attributes() == other.attributes();
 }
 
 xml::Element Event::to_xml() const {
+  const AttrList& attrs = attributes();
   xml::Element root("event");
-  for (const auto& [name, value] : attrs_) {
+  for (std::uint32_t i : name_order(attrs)) {
+    const auto& [atom, value] = attrs[i];
     xml::Element attr("attr");
-    attr.set_attribute("name", name);
+    attr.set_attribute("name", atom_name(atom));
     attr.set_attribute("type", value_type_name(value.type()));
     attr.set_attribute("value", value.to_text());
     root.add_child(std::move(attr));
@@ -86,7 +172,10 @@ Result<Event> Event::from_xml(const xml::Element& element) {
   return e;
 }
 
-std::string Event::to_xml_string() const { return xml::to_string(to_xml()); }
+std::string Event::to_xml_string() const {
+  g_serializations.fetch_add(1, std::memory_order_relaxed);
+  return xml::to_string(to_xml());
+}
 
 Result<Event> Event::parse(std::string_view xml_text) {
   auto doc = xml::parse(xml_text);
@@ -94,19 +183,31 @@ Result<Event> Event::parse(std::string_view xml_text) {
   return from_xml(doc.value());
 }
 
-std::size_t Event::wire_size() const { return to_xml_string().size(); }
+std::size_t Event::wire_size() const {
+  if (data_ == nullptr) {
+    static const std::size_t kEmptySize = Event().to_xml_string().size();
+    return kEmptySize;
+  }
+  if (data_->wire_cache == 0) data_->wire_cache = to_xml_string().size();
+  return data_->wire_cache;
+}
 
 std::string Event::describe() const {
+  const AttrList& attrs = attributes();
   std::ostringstream out;
   out << "event{";
   bool first = true;
-  for (const auto& [name, value] : attrs_) {
+  for (std::uint32_t i : name_order(attrs)) {
     if (!first) out << ", ";
     first = false;
-    out << name << "=" << value.to_text();
+    out << atom_name(attrs[i].first) << "=" << attrs[i].second.to_text();
   }
   out << "}";
   return out.str();
+}
+
+std::uint64_t Event::serializations() {
+  return g_serializations.load(std::memory_order_relaxed);
 }
 
 }  // namespace aa::event

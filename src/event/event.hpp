@@ -8,15 +8,35 @@
 // flowing between pipeline components"), so Event provides a faithful
 // XML encode/decode pair and a wire-size measure used for traffic
 // accounting.
+//
+// Representation (copy-on-write core): Event is a thin handle over a
+// shared, immutable EventData payload.  The payload holds the
+// attributes as a small-vector of (AtomId, AttrValue) pairs sorted by
+// atom id — names are interned once (event/atom.hpp) and every lookup,
+// match and comparison after that is an integer operation.  Copying an
+// Event copies a shared_ptr, so fan-out paths (broker forwarding,
+// pipeline dispatch, packet bodies, match windows) share one payload
+// instead of deep-copying a map per neighbour.  Mutation clones the
+// payload only when it is actually shared.
+//
+// The in-memory order (by AtomId) is canonical within a process but
+// depends on interning order, so the XML encoder re-orders attributes
+// by *name* — the exact bytes the old std::map-based representation
+// produced.  wire_size() is computed lazily from the XML rendering and
+// cached in the payload; every handle sharing the payload reuses it,
+// so an event crossing k brokers serialises once, not k times.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 
+#include "common/small_vector.hpp"
 #include "common/status.hpp"
 #include "common/time.hpp"
+#include "event/atom.hpp"
 #include "event/value.hpp"
 #include "xml/xml.hpp"
 
@@ -24,47 +44,77 @@ namespace aa::event {
 
 class Event {
  public:
+  /// One attribute: interned name + typed value.
+  using Attr = std::pair<AtomId, AttrValue>;
+  /// Sorted by AtomId; unique keys.  Inline capacity covers the common
+  /// event shape (type/time/source + a few payload fields).
+  using AttrList = SmallVector<Attr, 8>;
+
   Event() = default;
   /// Creates an event with its "type" attribute set.
   explicit Event(std::string type);
 
-  const std::map<std::string, AttrValue>& attributes() const { return attrs_; }
+  /// Attributes in canonical (AtomId-sorted) order.  The order is
+  /// deterministic for a given process and independent of construction
+  /// order; it is NOT name order — serialisation re-sorts by name.
+  const AttrList& attributes() const;
 
-  Event& set(std::string name, AttrValue value);
-  bool has(const std::string& name) const { return attrs_.contains(name); }
-  const AttrValue* get(const std::string& name) const;
+  Event& set(AtomId atom, AttrValue value);
+  Event& set(std::string_view name, AttrValue value);
+
+  bool has(AtomId atom) const { return get(atom) != nullptr; }
+  bool has(std::string_view name) const { return get(name) != nullptr; }
+
+  const AttrValue* get(AtomId atom) const;
+  /// By-name lookup; never interns, so probing unknown names does not
+  /// grow the atom table.
+  const AttrValue* get(std::string_view name) const;
 
   // Typed getters returning nullopt on absence or type mismatch.
-  std::optional<std::string> get_string(const std::string& name) const;
-  std::optional<std::int64_t> get_int(const std::string& name) const;
-  std::optional<double> get_real(const std::string& name) const;
-  std::optional<bool> get_bool(const std::string& name) const;
+  std::optional<std::string> get_string(std::string_view name) const;
+  std::optional<std::int64_t> get_int(std::string_view name) const;
+  std::optional<double> get_real(std::string_view name) const;
+  std::optional<bool> get_bool(std::string_view name) const;
+  std::optional<std::string> get_string(AtomId atom) const;
+  std::optional<std::int64_t> get_int(AtomId atom) const;
+  std::optional<double> get_real(AtomId atom) const;
+  std::optional<bool> get_bool(AtomId atom) const;
 
   /// Event type ("" if unset).
-  std::string type() const { return get_string("type").value_or(""); }
-  Event& set_type(const std::string& type) { return set("type", type); }
+  std::string type() const { return get_string(type_atom()).value_or(""); }
+  Event& set_type(const std::string& type) { return set(type_atom(), type); }
 
   /// Virtual timestamp (0 if unset).
-  SimTime time() const { return get_int("time").value_or(0); }
-  Event& set_time(SimTime t) { return set("time", static_cast<std::int64_t>(t)); }
+  SimTime time() const { return get_int(time_atom()).value_or(0); }
+  Event& set_time(SimTime t) { return set(time_atom(), static_cast<std::int64_t>(t)); }
 
-  std::string source() const { return get_string("source").value_or(""); }
-  Event& set_source(const std::string& s) { return set("source", s); }
+  std::string source() const { return get_string(source_atom()).value_or(""); }
+  Event& set_source(const std::string& s) { return set(source_atom(), s); }
 
   // --- Trace metadata (observability; obs/trace.hpp) ---
   //
   // Stamped receiver-side onto the copy handed to local subscription
-  // callbacks — never onto the wire form — so traffic accounting and
-  // delivery digests are unchanged by tracing.  Zero means "untraced".
+  // callbacks — never onto the wire form.  The stamp rides in the
+  // *handle*, not the shared payload: stamping a delivered copy neither
+  // clones the payload nor perturbs digests, traffic accounting, or
+  // other handles sharing it.  Zero means "untraced".
   static constexpr const char* kTraceIdAttr = "trace.id";
   static constexpr const char* kTraceSpanAttr = "trace.span";
-  Event& set_trace(std::uint64_t trace_id, std::uint64_t span_id);
-  std::uint64_t trace_id() const;
-  std::uint64_t trace_span() const;
+  Event& set_trace(std::uint64_t trace_id, std::uint64_t span_id) {
+    trace_id_ = trace_id;
+    trace_span_ = span_id;
+    return *this;
+  }
+  std::uint64_t trace_id() const { return trace_id_; }
+  std::uint64_t trace_span() const { return trace_span_; }
 
-  bool operator==(const Event& other) const { return attrs_ == other.attrs_; }
+  /// Payload equality (trace stamps excluded — they are delivery-local
+  /// metadata, not part of the event's identity).
+  bool operator==(const Event& other) const;
 
   /// XML form: <event><attr name="..." type="..." value="..."/>...</event>
+  /// Attributes appear in name order — byte-compatible with the wire
+  /// form of the pre-COW (std::map) representation.
   xml::Element to_xml() const;
   static Result<Event> from_xml(const xml::Element& element);
 
@@ -72,13 +122,33 @@ class Event {
   static Result<Event> parse(std::string_view xml_text);
 
   /// Bytes this event occupies on the simulated wire (its XML length).
+  /// Lazily computed and cached in the shared payload: one
+  /// serialisation per event, not per send.
   std::size_t wire_size() const;
 
-  /// Compact human-readable rendering for logs.
+  /// Compact human-readable rendering for logs (name order).
   std::string describe() const;
 
+  /// True when both handles share one payload (COW diagnostics).
+  bool shares_payload_with(const Event& other) const {
+    return data_ != nullptr && data_ == other.data_;
+  }
+
+  /// Process-wide count of XML renderings performed (serialisation
+  /// regression tests: forwarding an event across k hops must not
+  /// re-serialise it k times).
+  static std::uint64_t serializations();
+
  private:
-  std::map<std::string, AttrValue> attrs_;
+  struct EventData;
+
+  /// The payload, cloned first if shared ("copy on write").  Always
+  /// invalidates the cached wire size — callers mutate next.
+  EventData& mutable_data();
+
+  std::shared_ptr<EventData> data_;  // null = no attributes
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t trace_span_ = 0;
 };
 
 }  // namespace aa::event

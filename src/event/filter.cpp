@@ -72,8 +72,13 @@ bool Constraint::matches(const AttrValue& v) const {
   }
 }
 
+const std::string& Constraint::attribute() const {
+  static const std::string kEmpty;
+  return atom == kNoAtom ? kEmpty : atom_name(atom);
+}
+
 bool Constraint::implies(const Constraint& weaker) const {
-  if (attribute != weaker.attribute) return false;
+  if (atom != weaker.atom) return false;
   // Anything implies bare existence.
   if (weaker.op == Op::kExists) return true;
   if (op == Op::kExists) return false;
@@ -133,7 +138,7 @@ std::string Constraint::describe() const {
   // The rendering is re-parseable by parse_filter (string values are
   // quoted), which is what lets rules serialise filters to XML.
   std::ostringstream out;
-  out << attribute << ' ' << op_name(op);
+  out << attribute() << ' ' << op_name(op);
   if (op != Op::kExists) {
     if (value.is_string()) {
       out << " \"" << value.str() << '"';
@@ -144,14 +149,19 @@ std::string Constraint::describe() const {
   return out.str();
 }
 
-Filter& Filter::where(std::string attribute, Op op, AttrValue value) {
-  constraints_.push_back(Constraint{std::move(attribute), op, std::move(value)});
+Filter& Filter::where(std::string_view attribute, Op op, AttrValue value) {
+  constraints_.push_back(Constraint(attribute, op, std::move(value)));
+  return *this;
+}
+
+Filter& Filter::where(AtomId atom, Op op, AttrValue value) {
+  constraints_.push_back(Constraint(atom, op, std::move(value)));
   return *this;
 }
 
 bool Filter::matches(const Event& e) const {
   for (const Constraint& c : constraints_) {
-    const AttrValue* v = e.get(c.attribute);
+    const AttrValue* v = e.get(c.atom);
     if (v == nullptr || !c.matches(*v)) return false;
   }
   return true;
@@ -175,7 +185,7 @@ bool Filter::overlaps(const Filter& other) const {
   // Provable disjointness on any shared attribute refutes overlap.
   for (const Constraint& a : constraints_) {
     for (const Constraint& b : other.constraints_) {
-      if (a.attribute != b.attribute) continue;
+      if (a.atom != b.atom) continue;
       // eq pinned on one side: the other side must accept the witness.
       if (a.op == Op::kEq && !b.matches(a.value)) return false;
       if (b.op == Op::kEq && !a.matches(b.value)) return false;

@@ -18,8 +18,10 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "event/atom.hpp"
 #include "event/event.hpp"
 
 namespace aa::event {
@@ -40,10 +42,23 @@ enum class Op {
 const char* op_name(Op op);
 Result<Op> op_from_name(std::string_view name);
 
+/// One attribute constraint.  The attribute is held as an interned
+/// AtomId (event/atom.hpp), so matching probes events by integer key;
+/// the spelling is recovered via attribute() only for serialisation and
+/// logs.
 struct Constraint {
-  std::string attribute;
+  Constraint() = default;
+  Constraint(std::string_view attribute, Op op, AttrValue value = AttrValue())
+      : atom(intern(attribute)), op(op), value(std::move(value)) {}
+  Constraint(AtomId atom, Op op, AttrValue value = AttrValue())
+      : atom(atom), op(op), value(std::move(value)) {}
+
+  AtomId atom = kNoAtom;
   Op op = Op::kExists;
   AttrValue value;  // ignored for kExists
+
+  /// The interned spelling ("" for a default-constructed constraint).
+  const std::string& attribute() const;
 
   bool matches(const AttrValue& v) const;
 
@@ -62,7 +77,8 @@ class Filter {
   explicit Filter(std::vector<Constraint> constraints) : constraints_(std::move(constraints)) {}
 
   /// Fluent builder: f.where("type", Op::kEq, "temp").where("value", Op::kGt, 20.0)
-  Filter& where(std::string attribute, Op op, AttrValue value = AttrValue());
+  Filter& where(std::string_view attribute, Op op, AttrValue value = AttrValue());
+  Filter& where(AtomId atom, Op op, AttrValue value = AttrValue());
 
   const std::vector<Constraint>& constraints() const { return constraints_; }
   bool empty() const { return constraints_.empty(); }

@@ -54,7 +54,7 @@ bool FilterIndex::AttrTables::empty() const {
 }
 
 void FilterIndex::post(const Constraint& c, Slot slot) {
-  AttrTables& t = attrs_[c.attribute];
+  AttrTables& t = attrs_[c.atom];
   const bool strict = c.op == Op::kLt || c.op == Op::kGt;
   switch (c.op) {
     case Op::kExists:
@@ -110,7 +110,7 @@ void FilterIndex::post(const Constraint& c, Slot slot) {
 }
 
 void FilterIndex::unpost(const Constraint& c, Slot slot) {
-  auto attr_it = attrs_.find(c.attribute);
+  auto attr_it = attrs_.find(c.atom);
   if (attr_it == attrs_.end()) return;
   AttrTables& t = attr_it->second;
   const bool strict = c.op == Op::kLt || c.op == Op::kGt;
@@ -245,8 +245,8 @@ std::uint64_t FilterIndex::match(const Event& e, std::vector<std::uint64_t>& out
     }
   };
 
-  for (const auto& [name, value] : e.attributes()) {
-    auto attr_it = attrs_.find(name);
+  for (const auto& [atom, value] : e.attributes()) {
+    auto attr_it = attrs_.find(atom);
     if (attr_it == attrs_.end()) continue;
     const AttrTables& t = attr_it->second;
 

@@ -27,6 +27,10 @@
 // "probe"; callers surface the probe count next to the naive path's
 // match_tests so benchmarks can show the reduction.
 //
+// Attribute tables are keyed by interned AtomId (event/atom.hpp), so
+// walking an event's attributes probes the index with integer hashes —
+// no string hashing on the match path.
+//
 // FilterIndex is semantics-identical to the linear scan by
 // construction; tests/event_test.cpp cross-checks it against the oracle
 // over randomized filters and events covering every Op.
@@ -110,7 +114,7 @@ class FilterIndex {
   void post(const Constraint& c, Slot slot);
   void unpost(const Constraint& c, Slot slot);
 
-  std::unordered_map<std::string, AttrTables> attrs_;
+  std::unordered_map<AtomId, AttrTables> attrs_;
   // Stored filters, kept so remove() can locate every posting and
   // match() knows each filter's slot.
   std::unordered_map<std::uint64_t, Stored> filters_;

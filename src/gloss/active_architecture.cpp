@@ -179,8 +179,10 @@ std::uint64_t ActiveArchitecture::subscribe_user(sim::HostId device_host,
 }
 
 void ActiveArchitecture::publish(sim::HostId host, const event::Event& e) {
+  // Cheap handle copy; set_time clones the payload only when a
+  // timestamp actually needs to be added.
   event::Event stamped = e;
-  if (!stamped.has("time")) stamped.set_time(sched_.now());
+  if (!stamped.has(event::time_atom())) stamped.set_time(sched_.now());
   bus_->publish(host, stamped);
 }
 

@@ -156,10 +156,12 @@ bool MatchEngine::bind_facts(RuleState& state, Binding& binding, std::size_t nex
 }
 
 std::string MatchEngine::emission_key(const event::Event& e) {
+  // Canonical (AtomId-sorted) order is deterministic within a process,
+  // which is all a cooldown key needs.
   std::ostringstream out;
-  for (const auto& [name, value] : e.attributes()) {
-    if (name == "time") continue;
-    out << name << '=' << value.to_text() << ';';
+  for (const auto& [atom, value] : e.attributes()) {
+    if (atom == event::time_atom()) continue;
+    out << event::atom_name(atom) << '=' << value.to_text() << ';';
   }
   return out.str();
 }

@@ -43,15 +43,15 @@ const Fact* KnowledgeBase::fact(FactId id) const {
 }
 
 void KnowledgeBase::index_fact(FactId id, const Fact& fact) {
-  for (const auto& [name, value] : fact.attributes()) {
-    if (value.is_string()) index_[{name, value.str()}].insert(id);
+  for (const auto& [atom, value] : fact.attributes()) {
+    if (value.is_string()) index_[{atom, value.str()}].insert(id);
   }
 }
 
 void KnowledgeBase::unindex_fact(FactId id, const Fact& fact) {
-  for (const auto& [name, value] : fact.attributes()) {
+  for (const auto& [atom, value] : fact.attributes()) {
     if (!value.is_string()) continue;
-    auto it = index_.find({name, value.str()});
+    auto it = index_.find({atom, value.str()});
     if (it != index_.end()) {
       it->second.erase(id);
       if (it->second.empty()) index_.erase(it);
@@ -79,7 +79,7 @@ std::vector<const Fact*> KnowledgeBase::query(const event::Filter& filter) const
   const std::set<FactId>* candidates = nullptr;
   for (const auto& c : filter.constraints()) {
     if (c.op != event::Op::kEq || !c.value.is_string()) continue;
-    auto it = index_.find({c.attribute, c.value.str()});
+    auto it = index_.find({c.atom, c.value.str()});
     if (it == index_.end()) {
       // Indexed attribute with no entry: nothing can match.
       ++stats_.indexed_queries;

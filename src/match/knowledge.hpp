@@ -64,7 +64,8 @@ class KnowledgeBase {
 
   std::map<FactId, Fact> facts_;
   // (attribute, string value) -> fact ids.
-  std::map<std::pair<std::string, std::string>, std::set<FactId>> index_;
+  // String-equality index keyed by (interned attribute, value).
+  std::map<std::pair<event::AtomId, std::string>, std::set<FactId>> index_;
   FactId next_id_ = 1;
   mutable KnowledgeStats stats_;
 };

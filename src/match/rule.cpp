@@ -14,7 +14,7 @@ bool Rule::could_handle_type(const std::string& type) const {
     // attribute accept it (other attributes unconstrained here).
     bool type_ok = true;
     for (const auto& c : t.filter.constraints()) {
-      if (c.attribute != "type") continue;
+      if (c.atom != event::type_atom()) continue;
       if (!c.matches(event::AttrValue(type))) {
         type_ok = false;
         break;

@@ -15,7 +15,10 @@
 // Tracing is opt-in (Network::enable_tracing) and adds no packets and
 // no timing: a traced run and an untraced run of the same workload
 // execute the identical event sequence, which the chaos suite asserts
-// by comparing delivery digests with tracing on vs. off.
+// by comparing delivery digests with tracing on vs. off.  Delivery-side
+// trace stamps (Event::set_trace) ride the event *handle*, never its
+// shared copy-on-write payload, so stamping cannot clone payloads,
+// change wire bytes, or perturb other handles to the same event.
 #pragma once
 
 #include <cstdint>

@@ -92,11 +92,13 @@ void PipelineNetwork::dispatch(const ComponentRef& from, const event::Event& e) 
   if (it == links_.end()) return;
   sim::Network::SpanScope span(net_, from.host, "pipeline", "emit");
   if (span.active()) span.annotate(from.name);
+  std::string xml;  // rendered at most once per dispatch, shared by every inter-node hop
   for (const ComponentRef& to : it->second) {
     if (to.host == from.host) {
       // Intra-node hop: processing cost only, no serialisation.  The
-      // scheduler hop breaks the synchronous call chain, so carry the
-      // ambient trace context across it explicitly.
+      // captured event is a COW handle, so every queued hop shares one
+      // payload.  The scheduler hop breaks the synchronous call chain,
+      // so carry the ambient trace context across it explicitly.
       ++stats_.intra_node_hops;
       net_.scheduler().after(params_.processing_delay,
                              [this, to, e, ctx = net_.current_trace()]() {
@@ -106,7 +108,8 @@ void PipelineNetwork::dispatch(const ComponentRef& from, const event::Event& e) 
     } else {
       // Inter-node hop: the event crosses the wire as XML.
       ++stats_.inter_node_hops;
-      PipeMsg msg{to.name, e.to_xml_string()};
+      if (xml.empty()) xml = e.to_xml_string();
+      PipeMsg msg{to.name, xml};
       const std::size_t size = msg.event_xml.size() + msg.to_component.size() + 8;
       net_.send(from.host, to.host, kPipeProto, std::move(msg), size);
     }

@@ -10,7 +10,7 @@ void SensorSource::start() {
     auto e = sample();
     if (!e.has_value()) return;
     e->set_time(now());
-    if (!e->has("source")) e->set_source(name());
+    if (!e->has(event::source_atom())) e->set_source(name());
     emit(*e);
   });
 }

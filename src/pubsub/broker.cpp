@@ -126,7 +126,8 @@ void Broker::handle_advertise(std::uint64_t id, const event::Filter& filter, Ifa
   // Flood the advertisement away from its source.
   for (sim::HostId n : neighbours_) {
     if (source.kind == Iface::Kind::kBroker && source.host == n) continue;
-    send_broker(n, std::any(AdvertiseMsg{id, filter}), filter_wire_size(filter) + 8);
+    send_broker(n, std::any(AdvertiseMsg{id, filter}),
+                advertise_wire_size(AdvertiseMsg{id, filter}));
   }
   if (!advertisement_forwarding_) return;
   // A new advertisement may unlock pending subscriptions toward its
@@ -158,7 +159,7 @@ void Broker::handle_unsubscribe(std::uint64_t id, Iface source) {
     auto fwd = forwarded_.find(n);
     if (fwd == forwarded_.end() || !fwd->second.contains(id)) continue;
     fwd->second.erase(id);
-    send_broker(n, std::any(UnsubscribeMsg{id}), 16);
+    send_broker(n, std::any(UnsubscribeMsg{id}), unsubscribe_wire_size());
 
     // The removed subscription may have been covering others: re-forward
     // any table entry now uncovered in direction n.

@@ -40,11 +40,14 @@ void CentralService::unsubscribe(sim::HostId client, std::uint64_t subscription_
   ensure_client(client);
   std::erase_if(client_subs_[client],
                 [&](const ClientSub& s) { return s.id == subscription_id; });
-  net_.send(client, server_, kBrokerProto, UnsubscribeMsg{subscription_id}, 16);
+  net_.send(client, server_, kBrokerProto, UnsubscribeMsg{subscription_id},
+            unsubscribe_wire_size());
 }
 
 void CentralService::publish(sim::HostId client, const event::Event& e) {
-  net_.send(client, server_, kBrokerProto, PublishMsg{e}, e.wire_size());
+  PublishMsg pub{e};
+  const std::size_t size = publish_wire_size(pub);
+  net_.send(client, server_, kBrokerProto, std::move(pub), size);
 }
 
 void CentralService::on_server_message(const sim::Packet& packet) {

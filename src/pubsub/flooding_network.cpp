@@ -50,12 +50,15 @@ std::uint64_t FloodingNetwork::subscribe(sim::HostId client, const event::Filter
 void FloodingNetwork::unsubscribe(sim::HostId client, std::uint64_t subscription_id) {
   ClientState& state = clients_.at(client);
   std::erase_if(state.subs, [&](const ClientSub& s) { return s.id == subscription_id; });
-  net_.send(client, state.access_broker, kBrokerProto, UnsubscribeMsg{subscription_id}, 16);
+  net_.send(client, state.access_broker, kBrokerProto, UnsubscribeMsg{subscription_id},
+            unsubscribe_wire_size());
 }
 
 void FloodingNetwork::publish(sim::HostId client, const event::Event& e) {
   ClientState& state = clients_.at(client);
-  net_.send(client, state.access_broker, kBrokerProto, PublishMsg{e}, e.wire_size());
+  PublishMsg pub{e};
+  const std::size_t size = publish_wire_size(pub);
+  net_.send(client, state.access_broker, kBrokerProto, std::move(pub), size);
 }
 
 void FloodingNetwork::on_broker_message(sim::HostId broker, const sim::Packet& packet) {

@@ -41,6 +41,10 @@ struct DeliverMsg {
   event::Event event;
 };
 
+// Wire-size helpers: the single place the byte cost of each message
+// kind is defined, shared by every event-service implementation
+// (siena, flooding, central, mobility) so their traffic accounting
+// stays comparable.
 inline std::size_t filter_wire_size(const event::Filter& f) {
   return f.describe().size() + 16;
 }
@@ -49,6 +53,17 @@ inline std::size_t subscribe_wire_size(const SubscribeMsg& m) {
   return filter_wire_size(m.filter) + 8;
 }
 
+inline std::size_t advertise_wire_size(const AdvertiseMsg& m) {
+  return filter_wire_size(m.filter) + 8;
+}
+
+inline constexpr std::size_t unsubscribe_wire_size() { return 16; }
+
+/// Publish and deliver both charge the event's XML length — computed
+/// once per event and cached in its shared payload, so a broker
+/// forwarding to k neighbours serialises once, not k times.
 inline std::size_t publish_wire_size(const PublishMsg& m) { return m.event.wire_size(); }
+
+inline std::size_t deliver_wire_size(const DeliverMsg& m) { return m.event.wire_size(); }
 
 }  // namespace aa::pubsub

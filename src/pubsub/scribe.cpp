@@ -99,7 +99,7 @@ ObjectId ScribeNetwork::rendezvous_key(const std::string& topic) {
 
 std::string ScribeNetwork::topic_of_filter(const event::Filter& filter) {
   for (const auto& c : filter.constraints()) {
-    if (c.attribute == "type" && c.op == event::Op::kEq && c.value.is_string()) {
+    if (c.atom == event::type_atom() && c.op == event::Op::kEq && c.value.is_string()) {
       return c.value.str();
     }
   }

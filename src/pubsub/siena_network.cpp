@@ -71,7 +71,7 @@ void SienaNetwork::attach_client(sim::HostId client_host, sim::HostId broker_hos
   // access broker.  Tear them down there and re-issue them at the new
   // one, or events keep flowing to a broker the client no longer reads.
   for (const auto& [id, sub] : state.subs) {
-    net_.send(client_host, previous, kBrokerProto, UnsubscribeMsg{id}, 16);
+    net_.send(client_host, previous, kBrokerProto, UnsubscribeMsg{id}, unsubscribe_wire_size());
     SubscribeMsg msg{id, sub.filter};
     const std::size_t size = subscribe_wire_size(msg);
     net_.send(client_host, broker_host, kBrokerProto, std::move(msg), size);
@@ -118,7 +118,8 @@ void SienaNetwork::unsubscribe(sim::HostId client, std::uint64_t subscription_id
   ClientState& state = client_state(client);
   state.subs.erase(subscription_id);
   state.index.remove(subscription_id);
-  net_.send(client, state.access_broker, kBrokerProto, UnsubscribeMsg{subscription_id}, 16);
+  net_.send(client, state.access_broker, kBrokerProto, UnsubscribeMsg{subscription_id},
+            unsubscribe_wire_size());
 }
 
 void SienaNetwork::publish(sim::HostId client, const event::Event& e) {
@@ -129,7 +130,9 @@ void SienaNetwork::publish(sim::HostId client, const event::Event& e) {
       net_, net_.current_trace().active() ? net_.current_trace() : net_.start_trace());
   sim::Network::SpanScope span(net_, client, "client", "publish");
   if (span.active()) span.annotate("type=" + e.type());
-  net_.send(client, state.access_broker, kBrokerProto, PublishMsg{e}, e.wire_size());
+  PublishMsg pub{e};
+  const std::size_t size = publish_wire_size(pub);
+  net_.send(client, state.access_broker, kBrokerProto, std::move(pub), size);
 }
 
 void SienaNetwork::set_advertisement_forwarding(bool on) {
@@ -158,7 +161,7 @@ void SienaNetwork::advertise(sim::HostId client, const event::Filter& filter) {
       event::Advertisement{id, "host-" + std::to_string(client), filter});
   ClientState& state = client_state(client);
   AdvertiseMsg msg{id, filter};
-  const std::size_t size = filter_wire_size(filter) + 8;
+  const std::size_t size = advertise_wire_size(msg);
   net_.send(client, state.access_broker, kBrokerProto, std::move(msg), size);
 }
 
@@ -169,7 +172,7 @@ void SienaNetwork::re_advertise(sim::HostId client, std::uint64_t id,
   }
   ClientState& state = client_state(client);
   AdvertiseMsg msg{id, filter};
-  const std::size_t size = filter_wire_size(filter) + 8;
+  const std::size_t size = advertise_wire_size(msg);
   net_.send(client, state.access_broker, kBrokerProto, std::move(msg), size);
 }
 

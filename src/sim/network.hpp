@@ -20,6 +20,9 @@
 // traffic accounting matches what a real serialisation would cost
 // without paying encode/decode on every simulated hop.  (Serialisation
 // round-trips are exercised separately by the bytes/xml/bundle tests.)
+// Event-carrying bodies hold COW Event handles (event/event.hpp):
+// duplicating a packet across a fan-out copies shared_ptr handles, and
+// every hop reuses the one cached wire_size of the shared payload.
 #pragma once
 
 #include <any>

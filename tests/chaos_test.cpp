@@ -60,6 +60,8 @@ struct ScenarioResult {
   std::uint64_t retransmits = 0;
   std::uint64_t dropped_by_fault = 0;
   std::uint64_t deliver_spans = 0;  // only populated when tracing is on
+  std::uint64_t bytes_sent = 0;     // post-quiesce traffic (publish phase)
+  std::uint64_t messages_sent = 0;
 };
 
 // One full pub/sub run.  `mutate` (optional) is invoked right after the
@@ -112,6 +114,8 @@ ScenarioResult run_scenario(bool reliable,
   }
   result.retransmits = net.stats().retransmits;
   result.dropped_by_fault = net.stats().dropped_by_fault;
+  result.bytes_sent = net.stats().bytes_sent;
+  result.messages_sent = net.stats().messages_sent;
   if (const obs::TraceCollector* tc = net.tracer()) {
     for (const obs::Span& s : tc->spans()) {
       if (s.action == "deliver") ++result.deliver_spans;
@@ -162,6 +166,30 @@ TEST(Chaos, SeedSweepDigestsMatchFaultFreeOracle) {
     EXPECT_GT(chaos.dropped_by_fault, 0u) << "seed " << seed;
     EXPECT_GT(chaos.retransmits, 0u) << "seed " << seed;
   }
+}
+
+TEST(Chaos, CleanNetworkTrafficBitIdenticalGolden) {
+  // Golden pin for the event-representation refactor: the fault-free
+  // scenario's traffic counters depend on every event's exact XML byte
+  // length, so these constants (captured from the pre-COW std::map
+  // representation) prove the wire form is bit-identical end to end.
+  // Also the fan-out serialisation guarantee: 200 published events cross
+  // 1208 packets, yet each is rendered to XML exactly once — handles in
+  // packet bodies share one cached payload.
+  const std::uint64_t renders_before = Event::serializations();
+  const ScenarioResult oracle = fault_free_oracle();
+  EXPECT_EQ(oracle.deliveries, 400u);
+  EXPECT_EQ(oracle.bytes_sent, 126360u);
+  EXPECT_EQ(oracle.messages_sent, 1208u);
+  EXPECT_EQ(Event::serializations() - renders_before,
+            static_cast<std::uint64_t>(kRounds) * kHosts);
+
+  // The same pin must hold with tracing enabled: trace stamps ride the
+  // Event handle, never the shared payload or the wire form.
+  const ScenarioResult traced = run_scenario(/*reliable=*/false, nullptr, /*tracing=*/true);
+  EXPECT_EQ(traced.digest, oracle.digest);
+  EXPECT_EQ(traced.bytes_sent, oracle.bytes_sent);
+  EXPECT_EQ(traced.messages_sent, oracle.messages_sent);
 }
 
 TEST(Chaos, KilledLinkConvergesAfterRestore) {

@@ -5,6 +5,8 @@
 
 #include <algorithm>
 
+#include "common/hash.hpp"
+#include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "event/event.hpp"
 #include "event/filter.hpp"
@@ -84,6 +86,165 @@ TEST(Event, WireSizePositiveAndGrows) {
   for (int i = 0; i < 20; ++i) big.set("attr" + std::to_string(i), i);
   EXPECT_GT(small.wire_size(), 0u);
   EXPECT_GT(big.wire_size(), small.wire_size());
+}
+
+// --- Copy-on-write payload sharing ---
+
+// Random event over a wider universe than the covering tests below:
+// every value type, 0..8 attributes, random insertion order.
+Event random_cow_event(Rng& rng) {
+  Event e;
+  const int n = static_cast<int>(rng.below(9));
+  for (int i = 0; i < n; ++i) {
+    const std::string name = "a" + std::to_string(rng.below(12));
+    switch (rng.below(4)) {
+      case 0: e.set(name, AttrValue("v" + std::to_string(rng.below(50)))); break;
+      case 1: e.set(name, AttrValue(static_cast<std::int64_t>(rng.range(-100, 100)))); break;
+      case 2: e.set(name, AttrValue(rng.uniform(-4.0, 4.0))); break;
+      default: e.set(name, AttrValue(rng.chance(0.5))); break;
+    }
+  }
+  if (rng.chance(0.5)) e.set_type("t" + std::to_string(rng.below(4)));
+  return e;
+}
+
+TEST(EventCow, CopiesSharePayloadUntilMutation) {
+  Event a("temperature");
+  a.set("celsius", 21.5);
+  Event b = a;
+  EXPECT_TRUE(a.shares_payload_with(b));
+  b.set("celsius", 22.0);  // clone point
+  EXPECT_FALSE(a.shares_payload_with(b));
+  EXPECT_DOUBLE_EQ(a.get_real("celsius").value(), 21.5);
+  EXPECT_DOUBLE_EQ(b.get_real("celsius").value(), 22.0);
+}
+
+TEST(EventCow, TraceStampRidesHandleNotPayload) {
+  Event a("t");
+  a.set("key", "k");
+  const std::string wire_before = a.to_xml_string();
+  Event b = a;
+  b.set_trace(42, 7);
+  // Stamping neither clones the payload nor perturbs identity or bytes.
+  EXPECT_TRUE(a.shares_payload_with(b));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.to_xml_string(), wire_before);
+  EXPECT_EQ(b.trace_id(), 42u);
+  EXPECT_EQ(b.trace_span(), 7u);
+  EXPECT_EQ(a.trace_id(), 0u);
+}
+
+TEST(EventCow, RandomizedAliasingNeverLeaksMutations) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 200; ++trial) {
+    Event original = random_cow_event(rng);
+    const std::string frozen = original.to_xml_string();
+    std::vector<Event> copies(1 + rng.below(4), original);
+    for (Event& c : copies) {
+      const int edits = 1 + static_cast<int>(rng.below(3));
+      for (int i = 0; i < edits; ++i) {
+        c.set("m" + std::to_string(rng.below(4)),
+              AttrValue(static_cast<std::int64_t>(rng.below(100))));
+      }
+      EXPECT_FALSE(c.shares_payload_with(original));
+    }
+    EXPECT_EQ(original.to_xml_string(), frozen)
+        << "a mutated copy leaked into its source (trial " << trial << ")";
+  }
+}
+
+// --- Wire-size caching and serialisation counting ---
+
+TEST(EventWire, OneSerializationPerEventNotPerSend) {
+  Event e("t");
+  e.set("key", "value");
+  const std::uint64_t before = Event::serializations();
+  const std::size_t size = e.wire_size();
+  // Fan-out: shared handles reuse the cached rendering — repeated
+  // wire_size() calls across eight copies cost zero further renders.
+  for (int i = 0; i < 8; ++i) {
+    Event hop = e;
+    hop.set_trace(1, static_cast<std::uint64_t>(i));  // stamping must not invalidate
+    EXPECT_EQ(hop.wire_size(), size);
+  }
+  EXPECT_EQ(e.wire_size(), size);
+  EXPECT_EQ(Event::serializations() - before, 1u);
+
+  // Mutation invalidates: exactly one re-render, not one per reader.
+  e.set("key", "other");
+  const std::size_t resized = e.wire_size();
+  e.wire_size();
+  EXPECT_EQ(Event::serializations() - before, 2u);
+  EXPECT_NE(resized, 0u);
+}
+
+// Golden pin: the COW/interned representation must keep the XML wire
+// form byte-identical to the original std::map-based one.  The digest
+// below was captured from the pre-refactor code over 32 events covering
+// every value type and both insertion orders.
+TEST(EventWire, GoldenXmlBytesPinned) {
+  std::string all;
+  for (int i = 0; i < 32; ++i) {
+    Event e;
+    if (i % 2 == 0) {
+      e.set("type", "t" + std::to_string(i % 4));
+      e.set("user", "user" + std::to_string(i));
+      e.set("celsius", 17.25 + i);
+      e.set("floor", i);
+      e.set("indoors", i % 3 == 0);
+    } else {
+      e.set("indoors", i % 3 == 0);
+      e.set("floor", i);
+      e.set("celsius", 17.25 + i);
+      e.set("user", "user" + std::to_string(i));
+      e.set("type", "t" + std::to_string(i % 4));
+    }
+    e.set_time(1000 * i);
+    e.set_source("host-" + std::to_string(i % 8));
+    all += e.to_xml_string();
+    all += '\n';
+    all += std::to_string(e.wire_size());
+    all += '\n';
+  }
+  EXPECT_EQ(Uid160::from_content(all).to_hex(),
+            "07a4799ded31cd11d8acbdbee0e8d2d71a49a3a8");
+}
+
+TEST(EventXml, RandomizedRoundTripPreservesEquality) {
+  Rng rng(7771);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Event e = random_cow_event(rng);
+    auto back = Event::parse(e.to_xml_string());
+    ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+    EXPECT_EQ(back.value(), e) << e.describe();
+    EXPECT_EQ(back.value().to_xml_string(), e.to_xml_string());
+  }
+}
+
+TEST(EventXml, CanonicalAcrossConstructionOrders) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::pair<std::string, AttrValue>> attrs;
+    const int n = 1 + static_cast<int>(rng.below(7));
+    for (int i = 0; i < n; ++i) {
+      attrs.emplace_back("attr" + std::to_string(i),
+                         AttrValue(static_cast<std::int64_t>(rng.below(1000))));
+    }
+    Event forward;
+    for (const auto& [name, value] : attrs) forward.set(name, value);
+    // Shuffle and rebuild: same attribute set, different insertion order.
+    for (std::size_t i = attrs.size(); i > 1; --i) {
+      std::swap(attrs[i - 1], attrs[rng.below(i)]);
+    }
+    Event shuffled;
+    for (const auto& [name, value] : attrs) shuffled.set(name, value);
+    EXPECT_EQ(forward, shuffled);
+    EXPECT_EQ(forward.to_xml_string(), shuffled.to_xml_string());
+    ASSERT_EQ(forward.attributes().size(), shuffled.attributes().size());
+    for (std::size_t i = 0; i < forward.attributes().size(); ++i) {
+      EXPECT_EQ(forward.attributes()[i].first, shuffled.attributes()[i].first);
+    }
+  }
 }
 
 // --- Filter matching ---
