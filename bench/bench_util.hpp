@@ -73,6 +73,53 @@ inline void metrics_line(const std::string& label, const sim::MetricsRegistry& r
   std::printf("  metrics[%s] %s\n", label.c_str(), reg.to_json().c_str());
 }
 
+/// `--snapshot [dir]` support: when the flag is present the bench also
+/// writes its headline numbers as BENCH_<name>.json (counters via the
+/// MetricsRegistry JSON shape) so CI can upload the run as an artifact
+/// and later runs can be diffed machine-to-machine.  Doubles are stored
+/// scaled (see add_scaled) because the registry holds integer counters.
+class Snapshot {
+ public:
+  Snapshot(std::string name, int argc, char** argv) : name_(std::move(name)) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--snapshot") {
+        enabled_ = true;
+        if (i + 1 < argc && argv[i + 1][0] != '-') dir_ = argv[i + 1];
+      }
+    }
+  }
+
+  bool enabled() const { return enabled_; }
+  sim::MetricsRegistry& registry() { return reg_; }
+  void add(const std::string& key, std::uint64_t value) { reg_.add(key, value); }
+  /// Fixed-point for ratios/percentages: stored as round(value * 1000).
+  void add_scaled(const std::string& key, double value) {
+    reg_.add(key + "_x1000", static_cast<std::uint64_t>(value * 1000.0 + 0.5));
+  }
+
+  /// Writes BENCH_<name>.json; no-op (returns true) when --snapshot was
+  /// not passed.  Prints where the file went so CI logs show the path.
+  bool write() const {
+    if (!enabled_) return true;
+    const std::string path = dir_ + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out.is_open()) {
+      std::printf("  snapshot: cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << reg_.to_json() << "\n";
+    std::printf("  snapshot: wrote %s (%zu counters)\n", path.c_str(),
+                reg_.counters().size());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::string dir_ = ".";
+  bool enabled_ = false;
+  sim::MetricsRegistry reg_;
+};
+
 /// Parses a `--trace <path>` argument pair ("" when absent).
 inline std::string trace_arg(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; ++i) {

@@ -231,4 +231,30 @@ std::string Filter::describe() const {
   return first ? "<any>" : out.str();
 }
 
+void write_filter(BufWriter& w, const Filter& f) {
+  w.u32(static_cast<std::uint32_t>(f.constraints().size()));
+  for (const Constraint& c : f.constraints()) {
+    w.str(c.attribute());
+    w.u8(static_cast<std::uint8_t>(c.op));
+    w.u8(static_cast<std::uint8_t>(c.value.type()));
+    w.str(c.value.to_text());
+  }
+}
+
+Filter read_filter(BufReader& r) {
+  const std::uint32_t n = r.u32();
+  std::vector<Constraint> constraints;
+  for (std::uint32_t i = 0; i < n && !r.failed(); ++i) {
+    const std::string attribute = r.str();
+    const Op op = static_cast<Op>(r.u8());
+    const auto type = static_cast<ValueType>(r.u8());
+    const std::string text = r.str();
+    if (r.failed()) break;
+    auto value = AttrValue::from_text(type, text);
+    constraints.emplace_back(attribute, op,
+                             value.is_ok() ? value.value() : AttrValue(text));
+  }
+  return Filter(std::move(constraints));
+}
+
 }  // namespace aa::event

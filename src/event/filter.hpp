@@ -21,6 +21,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "event/atom.hpp"
 #include "event/event.hpp"
 
@@ -101,6 +102,16 @@ class Filter {
  private:
   std::vector<Constraint> constraints_;
 };
+
+/// Byte serialisation (crash-durable broker checkpoints and any other
+/// persisted routing state).  Attributes travel as their interned
+/// spelling and are re-interned on read, so the round-trip is stable
+/// across processes/incarnations; values travel as typed text
+/// (AttrValue::to_text/from_text).
+void write_filter(BufWriter& w, const Filter& f);
+/// Fail-soft like BufReader: a truncated/corrupt buffer sets the
+/// reader's failed() flag and returns what was parsed so far.
+Filter read_filter(BufReader& r);
 
 /// A subscription: who wants events matching what.
 struct Subscription {

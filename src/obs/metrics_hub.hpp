@@ -58,6 +58,39 @@ inline void export_stats(sim::MetricsRegistry& reg, const std::string& ns,
   reg.add(ns + ".retransmits", s.retransmits);
   reg.add(ns + ".duplicates_suppressed", s.duplicates_suppressed);
   reg.add(ns + ".give_ups", s.give_ups);
+  reg.add(ns + ".incarnation_give_ups", s.incarnation_give_ups);
+}
+
+inline void export_stats(sim::MetricsRegistry& reg, const std::string& ns,
+                         const sim::DiskStats& s) {
+  reg.add(ns + ".writes", s.writes);
+  reg.add(ns + ".appends", s.appends);
+  reg.add(ns + ".bytes_written", s.bytes_written);
+  reg.add(ns + ".removes", s.removes);
+  reg.add(ns + ".crashed_ops", s.crashed_ops);
+  reg.add(ns + ".torn_ops", s.torn_ops);
+  reg.add(ns + ".ghost_ops", s.ghost_ops);
+  reg.add(ns + ".lost_ops", s.lost_ops);
+}
+
+inline void export_stats(sim::MetricsRegistry& reg, const std::string& ns,
+                         const storage::DurabilityStats& s) {
+  reg.add(ns + ".wal_appends", s.wal_appends);
+  reg.add(ns + ".wal_bytes", s.wal_bytes);
+  reg.add(ns + ".checkpoints", s.checkpoints);
+  reg.add(ns + ".checkpoint_bytes", s.checkpoint_bytes);
+  reg.add(ns + ".logical_bytes", s.logical_bytes);
+  reg.add(ns + ".recoveries", s.recoveries);
+  reg.add(ns + ".records_replayed", s.records_replayed);
+  reg.add(ns + ".torn_records_discarded", s.torn_records_discarded);
+  reg.add(ns + ".corrupt_checkpoints", s.corrupt_checkpoints);
+  reg.add(ns + ".recovery_bytes_read", s.recovery_bytes_read);
+  reg.add(ns + ".recovery_us_total", s.recovery_us_total);
+  // Write amplification as parts-per-thousand: the registry holds
+  // integer counters, and 1000 * (physical / logical) keeps three
+  // significant digits for the C4 tier curves.
+  reg.add(ns + ".write_amplification_x1000",
+          static_cast<std::uint64_t>(s.write_amplification() * 1000.0));
 }
 
 inline void export_stats(sim::MetricsRegistry& reg, const std::string& ns,
@@ -68,6 +101,14 @@ inline void export_stats(sim::MetricsRegistry& reg, const std::string& ns,
   reg.add(ns + ".subscriptions_suppressed", s.subscriptions_suppressed);
   reg.add(ns + ".match_tests", s.match_tests);
   reg.add(ns + ".index_probes", s.index_probes);
+  reg.add(ns + ".checkpoints", s.checkpoints);
+  reg.add(ns + ".checkpoint_bytes", s.checkpoint_bytes);
+  reg.add(ns + ".recoveries", s.recoveries);
+  reg.add(ns + ".recovered_entries", s.recovered_entries);
+  reg.add(ns + ".sync_requests", s.sync_requests);
+  reg.add(ns + ".sync_replies", s.sync_replies);
+  reg.add(ns + ".sync_retries", s.sync_retries);
+  reg.add(ns + ".sync_give_ups", s.sync_give_ups);
 }
 
 inline void export_stats(sim::MetricsRegistry& reg, const std::string& ns,

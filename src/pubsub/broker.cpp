@@ -1,8 +1,14 @@
 #include "pubsub/broker.hpp"
 
+#include <algorithm>
+
 #include "sim/reliable.hpp"
 
 namespace aa::pubsub {
+
+namespace {
+constexpr const char* kCkptBase = "broker.ckpt";
+}  // namespace
 
 Broker::Broker(sim::Network& net, sim::HostId host) : net_(net), host_(host) {}
 
@@ -22,6 +28,7 @@ void Broker::remove_neighbour(sim::HostId broker_host) {
     return entry.second.source.kind == Iface::Kind::kBroker &&
            entry.second.source.host == broker_host;
   });
+  checkpoint();
 }
 
 void Broker::on_message(const sim::Packet& packet) {
@@ -37,6 +44,10 @@ void Broker::on_message(const sim::Packet& packet) {
   } else if (const auto* pub = sim::packet_body<PublishMsg>(packet)) {
     route_publish(pub->event,
                   from_broker ? std::optional<sim::HostId>(packet.src) : std::nullopt);
+  } else if (const auto* sync_req = sim::packet_body<SyncRequestMsg>(packet)) {
+    if (from_broker) handle_sync_request(packet.src, sync_req->round);
+  } else if (const auto* sync_rep = sim::packet_body<SyncReplyMsg>(packet)) {
+    if (from_broker) handle_sync_reply(packet.src, *sync_rep);
   }
 }
 
@@ -110,6 +121,7 @@ void Broker::handle_subscribe(std::uint64_t id, const event::Filter& filter, Ifa
     forwarded_[n].insert(id);
     send_subscribe(n, id, filter);
   }
+  checkpoint();
 }
 
 void Broker::handle_advertise(std::uint64_t id, const event::Filter& filter, Iface source) {
@@ -129,7 +141,10 @@ void Broker::handle_advertise(std::uint64_t id, const event::Filter& filter, Ifa
     send_broker(n, std::any(AdvertiseMsg{id, filter}),
                 advertise_wire_size(AdvertiseMsg{id, filter}));
   }
-  if (!advertisement_forwarding_) return;
+  if (!advertisement_forwarding_) {
+    checkpoint();
+    return;
+  }
   // A new advertisement may unlock pending subscriptions toward its
   // source: re-evaluate everything not yet forwarded that direction.
   if (source.kind != Iface::Kind::kBroker) return;
@@ -142,6 +157,7 @@ void Broker::handle_advertise(std::uint64_t id, const event::Filter& filter, Ifa
     forwarded_[n].insert(sid);
     send_subscribe(n, sid, entry.filter);
   }
+  checkpoint();
 }
 
 void Broker::handle_unsubscribe(std::uint64_t id, Iface source) {
@@ -171,6 +187,7 @@ void Broker::handle_unsubscribe(std::uint64_t id, Iface source) {
       send_subscribe(n, tid, entry.filter);
     }
   }
+  checkpoint();
 }
 
 void Broker::route_publish(const event::Event& e, std::optional<sim::HostId> arrival_broker) {
@@ -215,6 +232,185 @@ void Broker::route_publish(const event::Event& e, std::optional<sim::HostId> arr
     net_.send(host_, c, kClientProto, DeliverMsg{e}, size);
     ++stats_.deliveries;
   }
+}
+
+// --- Crash durability ----------------------------------------------------
+
+void Broker::enable_checkpoints(sim::DurableDisk& disk, BrokerDurabilityParams params) {
+  disk_ = &disk;
+  dur_params_ = params;
+  checkpoint();  // persist whatever routing state already exists
+}
+
+void Broker::checkpoint() {
+  if (disk_ == nullptr) return;
+  Bytes payload = serialize_routing_state();
+  ++stats_.checkpoints;
+  stats_.checkpoint_bytes += payload.size() + 24;  // + ping-pong frame
+  sim::checkpoint_write(*disk_, host_, kCkptBase, ++ckpt_seq_, std::move(payload));
+}
+
+Bytes Broker::serialize_routing_state() const {
+  BufWriter w;
+  auto write_entry_map = [&w](const std::map<std::uint64_t, Entry>& entries) {
+    w.u32(static_cast<std::uint32_t>(entries.size()));
+    for (const auto& [id, entry] : entries) {
+      w.u64(id);
+      w.u8(entry.source.kind == Iface::Kind::kBroker ? 0 : 1);
+      w.u32(entry.source.host);
+      event::write_filter(w, entry.filter);
+    }
+  };
+  write_entry_map(table_);
+  write_entry_map(adverts_);
+  w.u32(static_cast<std::uint32_t>(forwarded_.size()));
+  for (const auto& [host, ids] : forwarded_) {
+    w.u32(host);
+    w.u32(static_cast<std::uint32_t>(ids.size()));
+    for (std::uint64_t id : ids) w.u64(id);
+  }
+  return std::move(w).take();
+}
+
+void Broker::restore_routing_state(const Bytes& payload) {
+  BufReader r(payload);
+  auto read_entry_map = [this, &r](std::map<std::uint64_t, Entry>& entries, bool indexed) {
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n && !r.failed(); ++i) {
+      const std::uint64_t id = r.u64();
+      const auto kind = r.u8() == 0 ? Iface::Kind::kBroker : Iface::Kind::kClient;
+      const sim::HostId source_host = r.u32();
+      event::Filter filter = event::read_filter(r);
+      if (r.failed()) break;
+      entries[id] = Entry{std::move(filter), Iface{kind, source_host}};
+      if (indexed) index_.add(id, entries[id].filter);
+    }
+  };
+  read_entry_map(table_, true);
+  read_entry_map(adverts_, false);
+  const std::uint32_t n_forwarded = r.u32();
+  for (std::uint32_t i = 0; i < n_forwarded && !r.failed(); ++i) {
+    const sim::HostId host = r.u32();
+    const std::uint32_t n_ids = r.u32();
+    auto& ids = forwarded_[host];
+    for (std::uint32_t j = 0; j < n_ids && !r.failed(); ++j) ids.insert(r.u64());
+  }
+}
+
+void Broker::recover() {
+  if (disk_ == nullptr) return;
+  ++stats_.recoveries;
+  ++sync_round_;  // replies to any older round are stale — ignore them
+  for (auto& [peer, sync] : pending_sync_) {
+    if (sync.timer != sim::kInvalidTask) net_.scheduler().cancel(sync.timer);
+  }
+  pending_sync_.clear();
+
+  // The crash lost the in-memory routing state; rebuild from the last
+  // durable checkpoint.
+  table_.clear();
+  adverts_.clear();
+  forwarded_.clear();
+  index_ = event::FilterIndex{};
+  sim::Network::TraceScope root_trace(net_, net_.start_trace());
+  sim::Network::SpanScope span(net_, host_, "broker", "recover");
+  const sim::CheckpointRead ckpt = sim::checkpoint_read(*disk_, host_, kCkptBase);
+  if (ckpt.ok) {
+    restore_routing_state(ckpt.payload);
+    ckpt_seq_ = ckpt.seq;
+  }
+  stats_.recovered_entries += table_.size() + adverts_.size();
+  if (span.active()) {
+    span.annotate("ckpt=" + std::string(ckpt.ok ? "ok" : "none") +
+                  ";subs=" + std::to_string(table_.size()) +
+                  ";adverts=" + std::to_string(adverts_.size()) +
+                  ";read_us=" + std::to_string(disk_->read_latency(ckpt.bytes_scanned)));
+  }
+
+  // The checkpoint can trail reality (mutations after the last durable
+  // write, or missed while down): reconcile against each live neighbour.
+  for (sim::HostId n : neighbours_) send_sync_request(n);
+}
+
+void Broker::send_sync_request(sim::HostId peer) {
+  SyncState& sync = pending_sync_[peer];
+  if (sync.delay == 0) sync.delay = dur_params_.sync_timeout;
+  ++stats_.sync_requests;
+  send_broker(peer, std::any(SyncRequestMsg{sync_round_}), sync_request_wire_size());
+  sync.timer =
+      net_.scheduler().after(sync.delay, [this, peer]() { on_sync_timeout(peer); });
+}
+
+void Broker::on_sync_timeout(sim::HostId peer) {
+  auto it = pending_sync_.find(peer);
+  if (it == pending_sync_.end()) return;
+  SyncState& sync = it->second;
+  sync.timer = sim::kInvalidTask;
+  if (++sync.attempts >= dur_params_.sync_max_attempts) {
+    // A peer that never answers is likely down itself; its subscriptions
+    // will re-arrive through its own recovery sync when it returns.
+    ++stats_.sync_give_ups;
+    pending_sync_.erase(it);
+    return;
+  }
+  ++stats_.sync_retries;
+  sync.delay = static_cast<SimDuration>(static_cast<double>(sync.delay) *
+                                             dur_params_.sync_backoff);
+  send_sync_request(peer);
+}
+
+void Broker::handle_sync_request(sim::HostId peer, std::uint64_t round) {
+  SyncReplyMsg reply;
+  reply.round = round;
+  // Everything we forwarded toward the requester: the authoritative
+  // version of the table entries it attributes to us.
+  auto fwd = forwarded_.find(peer);
+  if (fwd != forwarded_.end()) {
+    for (std::uint64_t id : fwd->second) {
+      auto entry = table_.find(id);
+      if (entry != table_.end()) {
+        reply.subscriptions.push_back(SubscribeMsg{id, entry->second.filter});
+      }
+    }
+  }
+  // Advertisements we know from other directions (ours to re-flood).
+  for (const auto& [id, adv] : adverts_) {
+    if (adv.source.kind == Iface::Kind::kBroker && adv.source.host == peer) continue;
+    reply.advertisements.push_back(AdvertiseMsg{id, adv.filter});
+  }
+  const std::size_t size = sync_reply_wire_size(reply);
+  send_broker(peer, std::any(std::move(reply)), size);
+}
+
+void Broker::handle_sync_reply(sim::HostId peer, const SyncReplyMsg& reply) {
+  if (reply.round != sync_round_) return;  // stale round
+  auto it = pending_sync_.find(peer);
+  if (it != pending_sync_.end()) {
+    if (it->second.timer != sim::kInvalidTask) net_.scheduler().cancel(it->second.timer);
+    pending_sync_.erase(it);
+    ++stats_.sync_replies;
+  }
+  // The reply supersedes every checkpointed entry attributed to this
+  // peer: drop what it no longer has (unsubscribed while we were down),
+  // then (re)install what it does.  handle_subscribe/-advertise keep
+  // forwarding toward our other neighbours consistent.
+  std::set<std::uint64_t> sub_ids;
+  for (const SubscribeMsg& s : reply.subscriptions) sub_ids.insert(s.id);
+  std::erase_if(table_, [&](const auto& entry) {
+    const bool stale = entry.second.source.kind == Iface::Kind::kBroker &&
+                       entry.second.source.host == peer &&
+                       !sub_ids.contains(entry.first);
+    if (stale) index_.remove(entry.first);
+    return stale;
+  });
+  const Iface source{Iface::Kind::kBroker, peer};
+  for (const SubscribeMsg& s : reply.subscriptions) {
+    handle_subscribe(s.id, s.filter, source);
+  }
+  for (const AdvertiseMsg& a : reply.advertisements) {
+    handle_advertise(a.id, a.filter, source);
+  }
+  checkpoint();
 }
 
 }  // namespace aa::pubsub

@@ -24,6 +24,7 @@
 #include "event/filter.hpp"
 #include "event/filter_index.hpp"
 #include "pubsub/messages.hpp"
+#include "sim/durable_disk.hpp"
 #include "sim/network.hpp"
 
 namespace aa::sim {
@@ -39,6 +40,24 @@ struct BrokerStats {
   std::uint64_t subscriptions_suppressed = 0;  // covering prunes
   std::uint64_t match_tests = 0;   // naive path: full filter evaluations
   std::uint64_t index_probes = 0;  // indexed path: posting entries visited
+  // Crash durability (enable_checkpoints / recover):
+  std::uint64_t checkpoints = 0;        // routing-table checkpoint writes
+  std::uint64_t checkpoint_bytes = 0;   // bytes issued for those writes
+  std::uint64_t recoveries = 0;
+  std::uint64_t recovered_entries = 0;  // table + advert entries restored
+  std::uint64_t sync_requests = 0;      // recovery syncs sent to peers
+  std::uint64_t sync_replies = 0;       // peer replies applied
+  std::uint64_t sync_retries = 0;       // resends after timeout (stale peer)
+  std::uint64_t sync_give_ups = 0;      // peers that never answered
+};
+
+/// Knobs for broker checkpointing and the recovery sync protocol.
+struct BrokerDurabilityParams {
+  /// First reply timeout per peer; doubles per retry (a just-crashed or
+  /// partitioned peer answers late or never).
+  SimDuration sync_timeout = duration::millis(300);
+  double sync_backoff = 2.0;
+  int sync_max_attempts = 6;
 };
 
 class Broker {
@@ -89,6 +108,20 @@ class Broker {
 
   /// Number of routing-table entries (for table-size scaling metrics).
   std::size_t table_size() const { return table_.size(); }
+  std::size_t advert_count() const { return adverts_.size(); }
+
+  /// Checkpoints the subscription/advertisement tables to `disk` after
+  /// every routing-state mutation (ping-pong format, sim/durable_disk).
+  /// Wired up by SienaNetwork::enable_broker_checkpoints().
+  void enable_checkpoints(sim::DurableDisk& disk, BrokerDurabilityParams params = {});
+  bool checkpoints_enabled() const { return disk_ != nullptr; }
+
+  /// Crash recovery: wipes routing state (the crash lost it), restores
+  /// the last durable checkpoint, then reconciles with each neighbour
+  /// via SyncRequest/SyncReply with timeout + backoff — a peer that is
+  /// itself down or stale is retried, then given up on.  Called by the
+  /// churn recovery hook (SienaNetwork::attach_churn).
+  void recover();
 
  private:
   // An interface is either a neighbour broker or a locally attached
@@ -125,6 +158,16 @@ class Broker {
   /// kBrokerProto datagram otherwise.
   void send_broker(sim::HostId neighbour, std::any body, std::size_t wire_size);
 
+  /// Writes a routing-state checkpoint if checkpointing is enabled.
+  /// Called after every table_/adverts_/forwarded_ mutation.
+  void checkpoint();
+  Bytes serialize_routing_state() const;
+  void restore_routing_state(const Bytes& payload);
+  void handle_sync_request(sim::HostId peer, std::uint64_t round);
+  void handle_sync_reply(sim::HostId peer, const SyncReplyMsg& reply);
+  void send_sync_request(sim::HostId peer);
+  void on_sync_timeout(sim::HostId peer);
+
   sim::Network& net_;
   sim::HostId host_;
   sim::ReliableTransport* transport_ = nullptr;
@@ -139,6 +182,17 @@ class Broker {
   std::map<sim::HostId, std::set<std::uint64_t>> forwarded_;
   // Advertisements seen, by id (filter + the interface they came from).
   std::map<std::uint64_t, Entry> adverts_;
+  // Crash durability (nullptr when checkpointing is off).
+  sim::DurableDisk* disk_ = nullptr;
+  BrokerDurabilityParams dur_params_;
+  std::uint64_t ckpt_seq_ = 0;
+  std::uint64_t sync_round_ = 0;  // bumped per recover(); stale replies ignored
+  struct SyncState {
+    int attempts = 0;
+    SimDuration delay = 0;
+    sim::TaskId timer = sim::kInvalidTask;
+  };
+  std::map<sim::HostId, SyncState> pending_sync_;
   BrokerStats stats_;
 };
 

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "event/event.hpp"
 #include "event/filter.hpp"
@@ -41,6 +42,24 @@ struct DeliverMsg {
   event::Event event;
 };
 
+/// Recovering broker -> neighbour: "resend the routing state you hold
+/// for my direction" (broker checkpoint recovery, pubsub/broker.cpp).
+struct SyncRequestMsg {
+  /// Lets the requester match replies to its current recovery round;
+  /// stale replies from an earlier round are ignored.
+  std::uint64_t round = 0;
+};
+
+/// Neighbour -> recovering broker: the subscriptions it had forwarded
+/// toward the requester plus the advertisements it knows from other
+/// directions — the authoritative replacement for everything the
+/// requester's table attributes to this neighbour.
+struct SyncReplyMsg {
+  std::uint64_t round = 0;
+  std::vector<SubscribeMsg> subscriptions;
+  std::vector<AdvertiseMsg> advertisements;
+};
+
 // Wire-size helpers: the single place the byte cost of each message
 // kind is defined, shared by every event-service implementation
 // (siena, flooding, central, mobility) so their traffic accounting
@@ -65,5 +84,14 @@ inline constexpr std::size_t unsubscribe_wire_size() { return 16; }
 inline std::size_t publish_wire_size(const PublishMsg& m) { return m.event.wire_size(); }
 
 inline std::size_t deliver_wire_size(const DeliverMsg& m) { return m.event.wire_size(); }
+
+inline constexpr std::size_t sync_request_wire_size() { return 16; }
+
+inline std::size_t sync_reply_wire_size(const SyncReplyMsg& m) {
+  std::size_t size = 24;
+  for (const SubscribeMsg& s : m.subscriptions) size += subscribe_wire_size(s);
+  for (const AdvertiseMsg& a : m.advertisements) size += advertise_wire_size(a);
+  return size;
+}
 
 }  // namespace aa::pubsub

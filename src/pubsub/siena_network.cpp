@@ -17,6 +17,7 @@ SienaNetwork::SienaNetwork(sim::Network& net, std::vector<sim::HostId> broker_ho
 }
 
 SienaNetwork::~SienaNetwork() {
+  if (watcher_id_ != 0) net_.remove_host_watcher(watcher_id_);
   for (const auto& [h, broker] : brokers_) {
     net_.unregister_handler(h, kBrokerProto);
   }
@@ -155,6 +156,54 @@ void SienaNetwork::enable_reliable_transport(const sim::ReliableParams& params) 
   }
 }
 
+void SienaNetwork::enable_broker_checkpoints(sim::DurableDisk& disk,
+                                             const BrokerDurabilityParams& params) {
+  disk_ = &disk;
+  for (const auto& [h, broker] : brokers_) broker->enable_checkpoints(disk, params);
+  if (transport_ != nullptr) {
+    transport_->set_give_up([this](const sim::Packet& p) { on_transport_give_up(p); });
+  }
+  if (watcher_id_ == 0) {
+    watcher_id_ = net_.add_host_watcher([this](sim::HostId host, bool up) {
+      if (up) flush_stalled(host);
+    });
+  }
+}
+
+void SienaNetwork::attach_churn(sim::ChurnInjector& churn) {
+  for (const auto& [h, broker] : brokers_) {
+    Broker* raw = broker.get();
+    churn.add_recovery_hook(h, [raw](sim::HostId) { raw->recover(); });
+  }
+}
+
+void SienaNetwork::on_transport_give_up(const sim::Packet& packet) {
+  // Only park traffic for brokers that will recover on rejoin; anything
+  // else gave up for good (e.g. a permanently cut-off peer).
+  if (!brokers_.contains(packet.dst)) return;
+  stalled_[packet.dst].push_back(packet);
+}
+
+void SienaNetwork::flush_stalled(sim::HostId host) {
+  auto it = stalled_.find(host);
+  if (it == stalled_.end()) return;
+  std::vector<sim::Packet> packets = std::move(it->second);
+  stalled_.erase(it);
+  // Defer past the synchronous rejoin machinery (recovery hooks run
+  // inside set_host_up's watcher cascade), so the re-sent packets meet
+  // a broker that has already restored its routing state.
+  net_.scheduler().after(0, [this, packets = std::move(packets)]() {
+    if (transport_ == nullptr) return;
+    for (const sim::Packet& p : packets) transport_->send(p);
+  });
+}
+
+std::size_t SienaNetwork::stalled_packets() const {
+  std::size_t total = 0;
+  for (const auto& [h, packets] : stalled_) total += packets.size();
+  return total;
+}
+
 void SienaNetwork::advertise(sim::HostId client, const event::Filter& filter) {
   const std::uint64_t id = next_adv_id_++;
   advertisements_.push_back(
@@ -231,6 +280,14 @@ BrokerStats SienaNetwork::total_broker_stats() const {
     total.subscriptions_suppressed += s.subscriptions_suppressed;
     total.match_tests += s.match_tests;
     total.index_probes += s.index_probes;
+    total.checkpoints += s.checkpoints;
+    total.checkpoint_bytes += s.checkpoint_bytes;
+    total.recoveries += s.recoveries;
+    total.recovered_entries += s.recovered_entries;
+    total.sync_requests += s.sync_requests;
+    total.sync_replies += s.sync_replies;
+    total.sync_retries += s.sync_retries;
+    total.sync_give_ups += s.sync_give_ups;
   }
   return total;
 }

@@ -11,6 +11,7 @@
 
 #include "pubsub/broker.hpp"
 #include "pubsub/event_service.hpp"
+#include "sim/churn.hpp"
 #include "sim/reliable.hpp"
 
 namespace aa::pubsub {
@@ -53,6 +54,22 @@ class SienaNetwork final : public EventService {
   /// default, so benches on a clean network are unchanged.
   void enable_reliable_transport(const sim::ReliableParams& params = {});
   sim::ReliableTransport* reliable_transport() { return transport_.get(); }
+
+  /// Checkpoints every broker's routing tables to `disk` and, with the
+  /// reliable transport enabled, parks broker traffic the transport
+  /// gave up on (peer crashed — incarnation give-up) in a stalled queue
+  /// that is re-sent when the peer rejoins, so publications outlive a
+  /// broker crash instead of retrying into a void.
+  void enable_broker_checkpoints(sim::DurableDisk& disk,
+                                 const BrokerDurabilityParams& params = {});
+
+  /// Registers per-broker recovery hooks: a broker host rejoining via
+  /// `churn` restores its routing state (checkpoint + peer sync) before
+  /// kJoin observers run.
+  void attach_churn(sim::ChurnInjector& churn);
+
+  /// Broker-to-broker packets awaiting a crashed peer's return.
+  std::size_t stalled_packets() const;
 
   /// Attaches a client to an access broker.  Must precede subscribe /
   /// publish calls for that client.  Re-attaching an already-attached
@@ -102,10 +119,18 @@ class SienaNetwork final : public EventService {
   void on_client_message(sim::HostId client_host, const sim::Packet& packet);
   ClientState& client_state(sim::HostId client_host);
 
+  void on_transport_give_up(const sim::Packet& packet);
+  void flush_stalled(sim::HostId host);
+
   sim::Network& net_;
   std::vector<sim::HostId> broker_hosts_;
   bool indexed_matching_ = true;
   std::unique_ptr<sim::ReliableTransport> transport_;
+  sim::DurableDisk* disk_ = nullptr;
+  std::uint64_t watcher_id_ = 0;
+  // Broker traffic the transport gave up on because the destination
+  // crashed; flushed (re-sent) when the destination rejoins.
+  std::map<sim::HostId, std::vector<sim::Packet>> stalled_;
   std::map<sim::HostId, std::unique_ptr<Broker>> brokers_;
   std::map<sim::HostId, ClientState> clients_;
   std::vector<event::Advertisement> advertisements_;

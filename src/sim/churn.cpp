@@ -60,10 +60,18 @@ void ChurnInjector::kill(HostId host, bool graceful) {
   }
 }
 
+void ChurnInjector::add_recovery_hook(HostId host, RecoveryHook hook) {
+  if (recovery_hooks_.size() <= host) recovery_hooks_.resize(host + 1);
+  recovery_hooks_[host].push_back(std::move(hook));
+}
+
 void ChurnInjector::revive(HostId host) {
   if (net_.host_up(host)) return;
   ++joins_;
   net_.set_host_up(host, true);
+  if (host < recovery_hooks_.size()) {
+    for (const auto& hook : recovery_hooks_[host]) hook(host);
+  }
   notify(host, ChurnEvent::kJoin);
 }
 

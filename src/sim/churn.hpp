@@ -32,6 +32,11 @@ class ChurnInjector {
   };
 
   using Observer = std::function<void(HostId, ChurnEvent)>;
+  /// Recovery hook: runs on a host's rejoin, after the host is back up
+  /// but *before* kJoin observers fire, so the recovered state (store
+  /// replay, broker checkpoint restore) is in place by the time overlay
+  /// repair and workloads react to the join.
+  using RecoveryHook = std::function<void(HostId)>;
 
   ChurnInjector(Network& net, Params params);
 
@@ -41,6 +46,10 @@ class ChurnInjector {
   void stop();
 
   void add_observer(Observer obs) { observers_.push_back(std::move(obs)); }
+
+  /// Registers a recovery hook for one host (every rejoining layer on
+  /// that host adds its own).  Hooks run in registration order.
+  void add_recovery_hook(HostId host, RecoveryHook hook);
 
   /// Takes one specific host down immediately (for directed
   /// experiments).  Hosts protected via start() are never taken down,
@@ -61,6 +70,7 @@ class ChurnInjector {
   Rng rng_;
   std::vector<HostId> protected_;
   std::vector<Observer> observers_;
+  std::vector<std::vector<RecoveryHook>> recovery_hooks_;  // per host
   TaskId pending_ = kInvalidTask;
   bool running_ = false;
   int departures_ = 0;

@@ -1,0 +1,231 @@
+#include "sim/durable_disk.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/bytes.hpp"
+#include "common/hash.hpp"
+
+namespace aa::sim {
+
+DurableDisk::DurableDisk(Network& net, DiskParams params)
+    : net_(net), params_(params), rng_(params.seed) {
+  watcher_id_ = net_.add_host_watcher(
+      [this](HostId host, bool up) { on_host_transition(host, up); });
+}
+
+DurableDisk::~DurableDisk() { net_.remove_host_watcher(watcher_id_); }
+
+void DurableDisk::write(HostId host, const std::string& file, Bytes data, Done done) {
+  if (!net_.host_up(host)) {
+    if (done) done(false);
+    return;
+  }
+  Op op;
+  op.id = next_op_++;
+  op.host = host;
+  op.file = file;
+  op.data = std::move(data);
+  op.is_append = false;
+  op.done = std::move(done);
+  auto& q = queues_[host];
+  q.push_back(std::move(op));
+  if (q.size() == 1) schedule_completion(host);
+}
+
+void DurableDisk::append(HostId host, const std::string& file, Bytes record, Done done) {
+  if (!net_.host_up(host)) {
+    if (done) done(false);
+    return;
+  }
+  Op op;
+  op.id = next_op_++;
+  op.host = host;
+  op.file = file;
+  op.data = std::move(record);
+  op.is_append = true;
+  op.done = std::move(done);
+  auto& q = queues_[host];
+  q.push_back(std::move(op));
+  if (q.size() == 1) schedule_completion(host);
+}
+
+bool DurableDisk::remove(HostId host, const std::string& file) {
+  const bool existed = files_.erase({host, file}) > 0;
+  if (existed) ++stats_.removes;
+  return existed;
+}
+
+const Bytes* DurableDisk::read(HostId host, const std::string& file) const {
+  auto it = files_.find({host, file});
+  return it != files_.end() ? &it->second : nullptr;
+}
+
+bool DurableDisk::exists(HostId host, const std::string& file) const {
+  return files_.contains({host, file});
+}
+
+std::vector<std::string> DurableDisk::files(HostId host) const {
+  std::vector<std::string> out;
+  for (auto it = files_.lower_bound({host, std::string{}});
+       it != files_.end() && it->first.first == host; ++it) {
+    out.push_back(it->first.second);
+  }
+  return out;
+}
+
+SimDuration DurableDisk::read_latency(std::size_t bytes) const {
+  if (params_.read_bytes_per_us <= 0) return 0;
+  return static_cast<SimDuration>(static_cast<double>(bytes) / params_.read_bytes_per_us);
+}
+
+std::size_t DurableDisk::in_flight(HostId host) const {
+  if (host != kNoHost) {
+    auto it = queues_.find(host);
+    return it != queues_.end() ? it->second.size() : 0;
+  }
+  std::size_t total = 0;
+  for (const auto& [h, q] : queues_) total += q.size();
+  return total;
+}
+
+void DurableDisk::schedule_completion(HostId host) {
+  auto it = queues_.find(host);
+  if (it == queues_.end() || it->second.empty()) return;
+  const Op& head = it->second.front();
+  const double tx_us =
+      params_.write_bytes_per_us > 0
+          ? static_cast<double>(head.data.size()) / params_.write_bytes_per_us
+          : 0.0;
+  const SimDuration latency = params_.fsync_latency + static_cast<SimDuration>(tx_us);
+  head_timer_[host] = net_.scheduler().after(latency, [this, host]() { complete_head(host); });
+}
+
+void DurableDisk::complete_head(HostId host) {
+  auto it = queues_.find(host);
+  if (it == queues_.end() || it->second.empty()) return;
+  Op op = std::move(it->second.front());
+  it->second.pop_front();
+  head_timer_.erase(host);
+  apply(op, op.data.size());
+  if (op.is_append) {
+    ++stats_.appends;
+  } else {
+    ++stats_.writes;
+  }
+  if (!it->second.empty()) {
+    schedule_completion(host);
+  } else {
+    queues_.erase(it);
+  }
+  // Run the callback last: it may enqueue follow-up ops (checkpoint →
+  // truncate-WAL chains) that must land behind the already-queued tail.
+  if (op.done) op.done(true);
+}
+
+void DurableDisk::apply(const Op& op, std::size_t physical_bytes) {
+  const std::size_t n = std::min(physical_bytes, op.data.size());
+  stats_.bytes_written += n;
+  if (op.is_append) {
+    Bytes& f = files_[{op.host, op.file}];
+    f.insert(f.end(), op.data.begin(), op.data.begin() + static_cast<std::ptrdiff_t>(n));
+    return;
+  }
+  // Full-file write: atomic replace on fsync, torn prefix on crash.
+  files_[{op.host, op.file}] = Bytes(op.data.begin(),
+                                     op.data.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+void DurableDisk::on_host_transition(HostId host, bool up) {
+  if (up) return;  // Rejoin: durable files are exactly what recovery reads.
+  auto it = queues_.find(host);
+  if (it == queues_.end()) return;
+  auto timer = head_timer_.find(host);
+  if (timer != head_timer_.end()) {
+    net_.scheduler().cancel(timer->second);
+    head_timer_.erase(timer);
+  }
+  std::deque<Op> pending = std::move(it->second);
+  queues_.erase(it);
+  stats_.crashed_ops += pending.size();
+  bool head = true;
+  for (const Op& op : pending) {
+    if (head && !op.data.empty()) {
+      // Only the head op was mid-flush; a seeded draw decides how much
+      // of it reached the platter.  Its Done callback never runs — the
+      // application cannot distinguish ghost from lost, which is
+      // exactly the ambiguity recovery replay must absorb.
+      const double u = rng_.uniform();
+      if (u < params_.torn_write_prob) {
+        ++stats_.torn_ops;
+        apply(op, 1 + rng_.below(op.data.size()));
+      } else if (u < params_.torn_write_prob + params_.ghost_write_prob) {
+        ++stats_.ghost_ops;
+        apply(op, op.data.size());
+      } else {
+        ++stats_.lost_ops;
+      }
+    } else {
+      ++stats_.lost_ops;
+    }
+    head = false;
+  }
+}
+
+namespace {
+constexpr std::uint32_t kCheckpointMagic = 0x434B5054;  // "TPKC"
+
+std::uint64_t file_checksum(std::span<const std::uint8_t> data) {
+  return fnv1a(std::string_view(reinterpret_cast<const char*>(data.data()), data.size()));
+}
+}  // namespace
+
+void checkpoint_write(DurableDisk& disk, HostId host, const std::string& base,
+                      std::uint64_t seq, Bytes payload, DurableDisk::Done done) {
+  BufWriter w;
+  w.u32(kCheckpointMagic);
+  w.u64(seq);
+  w.bytes(payload);
+  w.u64(file_checksum(w.data()));
+  const std::string file = base + (seq % 2 == 1 ? ".a" : ".b");
+  disk.write(host, file, std::move(w).take(), std::move(done));
+}
+
+CheckpointRead checkpoint_read(const DurableDisk& disk, HostId host,
+                               const std::string& base) {
+  CheckpointRead out;
+  for (const char* suffix : {".a", ".b"}) {
+    const Bytes* data = disk.read(host, base + suffix);
+    if (data == nullptr) continue;
+    out.bytes_scanned += data->size();
+    if (data->size() < 24) {
+      ++out.corrupt_files;
+      continue;
+    }
+    const std::span<const std::uint8_t> body(data->data(), data->size() - 8);
+    BufReader tail(std::span<const std::uint8_t>(data->data() + data->size() - 8, 8));
+    if (tail.u64() != file_checksum(body)) {
+      ++out.corrupt_files;  // the torn half of the pair
+      continue;
+    }
+    BufReader r(body);
+    if (r.u32() != kCheckpointMagic) {
+      ++out.corrupt_files;
+      continue;
+    }
+    const std::uint64_t seq = r.u64();
+    Bytes payload = r.bytes();
+    if (r.failed()) {
+      ++out.corrupt_files;
+      continue;
+    }
+    if (!out.ok || seq > out.seq) {
+      out.ok = true;
+      out.seq = seq;
+      out.payload = std::move(payload);
+    }
+  }
+  return out;
+}
+
+}  // namespace aa::sim

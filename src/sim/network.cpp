@@ -189,8 +189,22 @@ void Network::deliver(const Packet& packet, std::uint32_t incarnation) {
 
 void Network::set_host_up(HostId host, bool up) {
   if (host >= up_.size()) return;
+  if (up_[host] == up) return;
   if (up_[host] && !up) ++incarnation_[host];
   up_[host] = up;
+  // Snapshot by value: a watcher may add/remove watchers while running.
+  const auto watchers = host_watchers_;
+  for (const auto& [id, watcher] : watchers) watcher(host, up);
+}
+
+std::uint64_t Network::add_host_watcher(HostWatcher watcher) {
+  const std::uint64_t id = next_watcher_id_++;
+  host_watchers_.emplace_back(id, std::move(watcher));
+  return id;
+}
+
+void Network::remove_host_watcher(std::uint64_t id) {
+  std::erase_if(host_watchers_, [id](const auto& entry) { return entry.first == id; });
 }
 
 bool Network::host_up(HostId host) const { return host < up_.size() && up_[host]; }

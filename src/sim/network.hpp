@@ -252,6 +252,24 @@ class Network {
   bool host_up(HostId host) const;
   std::vector<HostId> live_hosts() const;
 
+  /// The host's current incarnation number; bumped on every up->down
+  /// transition.  A changed incarnation means "the endpoint you were
+  /// talking to is gone": in-flight packets to the old incarnation are
+  /// never delivered, and session-oriented layers (sim/reliable.hpp)
+  /// treat it as a connection reset.
+  std::uint32_t incarnation(HostId host) const {
+    return host < incarnation_.size() ? incarnation_[host] : 0;
+  }
+
+  /// Watches host up/down transitions.  Watchers run synchronously from
+  /// set_host_up, in registration order, only on actual state changes —
+  /// the hook crash-durable state (sim/durable_disk.hpp) uses to resolve
+  /// in-flight disk writes at the moment of the crash, and recovery
+  /// layers use to flush traffic stalled on a dead peer once it returns.
+  using HostWatcher = std::function<void(HostId, bool up)>;
+  std::uint64_t add_host_watcher(HostWatcher watcher);
+  void remove_host_watcher(std::uint64_t id);
+
   const NetworkStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
@@ -288,6 +306,8 @@ class Network {
     std::unordered_set<HostId> b;
   };
   std::vector<Partition> partitions_;
+  std::vector<std::pair<std::uint64_t, HostWatcher>> host_watchers_;
+  std::uint64_t next_watcher_id_ = 1;
   NetworkStats stats_;
   std::unique_ptr<obs::TraceCollector> tracer_;  // null = tracing off
   obs::TraceContext current_trace_{};

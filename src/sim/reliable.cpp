@@ -49,6 +49,7 @@ void ReliableTransport::send(Packet packet) {
   }
   const std::uint64_t seq = next_seq_++;
   Pending pending;
+  pending.dst_incarnation = net_.incarnation(packet.dst);
   pending.packet = std::move(packet);
   pending.rto = params_.initial_rto;
   pending_.emplace(seq, std::move(pending));
@@ -69,7 +70,10 @@ void ReliableTransport::on_timeout(std::uint64_t seq) {
   if (it == pending_.end()) return;
   Pending& pending = it->second;
   pending.timer = kInvalidTask;
-  if (pending.retries >= params_.max_retries) {
+  const bool peer_reincarnated =
+      net_.incarnation(pending.packet.dst) != pending.dst_incarnation;
+  if (peer_reincarnated || pending.retries >= params_.max_retries) {
+    if (peer_reincarnated) ++stats_.incarnation_give_ups;
     ++stats_.give_ups;
     Packet original = std::move(pending.packet);
     pending_.erase(it);

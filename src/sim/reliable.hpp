@@ -53,6 +53,10 @@ struct ReliableStats {
   std::uint64_t retransmits = 0;
   std::uint64_t duplicates_suppressed = 0;  // re-receipts dropped by dedup
   std::uint64_t give_ups = 0;
+  /// give_ups fired early because the peer's incarnation changed (it
+  /// crashed since the send) — retrying at the reincarnated endpoint
+  /// can never be acked, so the transport reports the loss promptly.
+  std::uint64_t incarnation_give_ups = 0;
 };
 
 class ReliableTransport {
@@ -109,6 +113,9 @@ class ReliableTransport {
     int retries = 0;
     SimDuration rto = 0;
     TaskId timer = kInvalidTask;
+    /// Destination incarnation at send time; a mismatch at any retry
+    /// means the peer crashed and the send can never succeed.
+    std::uint32_t dst_incarnation = 0;
   };
 
   /// Lazily registers this transport's network handler for `host` (both

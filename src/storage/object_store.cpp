@@ -85,7 +85,20 @@ void ObjectStore::sync_hosts() {
 
 void ObjectStore::ensure_host(sim::HostId host) {
   if (nodes_.contains(host)) return;
-  nodes_.emplace(host, std::make_unique<StoreNode>(params_.cache_capacity));
+  auto& node = *nodes_.emplace(host, std::make_unique<StoreNode>(params_.cache_capacity))
+                    .first->second;
+  if (params_.tier != StoreTier::kVolatile && params_.disk != nullptr) {
+    auto& journal = *journals_
+                         .emplace(host, std::make_unique<StoreJournal>(
+                                            *params_.disk, host, params_.tier,
+                                            params_.checkpoint_every))
+                         .first->second;
+    journal.bind(&node);
+    node.set_journal(&journal);
+  }
+  if (churn_ != nullptr) {
+    churn_->add_recovery_hook(host, [this](sim::HostId h) { recover_host(h); });
+  }
   net_.register_handler(host, kDirectProto,
                         [this, host](const sim::Packet& p) { on_direct(host, p); });
   if (repair_transport_ != nullptr) {
@@ -401,25 +414,89 @@ void ObjectStore::send_repair(sim::HostId src, sim::HostId dst, std::any body,
 void ObjectStore::healing_sweep() {
   for (const auto& [host, store_node] : nodes_) {
     if (!net_.host_up(host)) continue;
-    overlay::OverlayNode* node = overlay_.node_at(host);
-    if (node == nullptr) continue;
-    for (const ObjectId& id : store_node->replica_ids()) {
-      // Only the object's current root drives healing, so at most one
-      // node re-pushes each object per sweep.
-      if (node->next_hop(id).has_value()) continue;
-      const Bytes* data = store_node->replica(id);
-      if (data == nullptr) continue;
-      // Each healing push roots its own (sampled) trace: the sweep runs
-      // from a timer, so there is no ambient context to inherit.
-      sim::Network::TraceScope root_trace(net_, net_.start_trace());
-      sim::Network::SpanScope span(net_, host, "store", "heal");
-      for (const auto& target : node->replica_set(id, params_.replicas)) {
-        if (target.host == host) continue;
-        send_repair(host, target.host, ReplicaStoreMsg{id, *data, true},
-                    data->size() + 24);
-      }
+    heal_host(host, *store_node);
+  }
+}
+
+void ObjectStore::heal_host(sim::HostId host, StoreNode& store_node) {
+  overlay::OverlayNode* node = overlay_.node_at(host);
+  if (node == nullptr) return;
+  for (const ObjectId& id : store_node.replica_ids()) {
+    // Only the object's current root drives healing, so at most one
+    // node re-pushes each object per sweep.
+    if (node->next_hop(id).has_value()) continue;
+    const Bytes* data = store_node.replica(id);
+    if (data == nullptr) continue;
+    // Each healing push roots its own (sampled) trace: the sweep runs
+    // from a timer, so there is no ambient context to inherit.
+    sim::Network::TraceScope root_trace(net_, net_.start_trace());
+    sim::Network::SpanScope span(net_, host, "store", "heal");
+    for (const auto& target : node->replica_set(id, params_.replicas)) {
+      if (target.host == host) continue;
+      send_repair(host, target.host, ReplicaStoreMsg{id, *data, true},
+                  data->size() + 24);
     }
   }
+}
+
+void ObjectStore::attach_churn(sim::ChurnInjector& churn) {
+  churn_ = &churn;
+  for (const auto& [host, node] : nodes_) {
+    churn_->add_recovery_hook(host, [this](sim::HostId h) { recover_host(h); });
+  }
+}
+
+void ObjectStore::recover_host(sim::HostId host) {
+  auto it = nodes_.find(host);
+  if (it == nodes_.end()) return;
+  StoreNode& store_node = *it->second;
+  sim::Network::TraceScope root_trace(net_, net_.start_trace());
+  sim::Network::SpanScope span(net_, host, "store", "recover");
+  auto journal_it = journals_.find(host);
+  if (journal_it == journals_.end()) {
+    // Volatile tier: the crash lost everything; the node rejoins empty
+    // and refills from replica peers via healing.
+    store_node.clear_all();
+    if (span.active()) span.annotate("tier=volatile");
+  } else {
+    const StoreJournal::RecoveryResult result = journal_it->second->recover(store_node);
+    if (span.active()) {
+      span.annotate(std::string("tier=") + tier_name(journal_it->second->tier()) +
+                    ";replayed=" + std::to_string(result.records_replayed) +
+                    ";torn=" + std::to_string(result.torn_discarded) +
+                    ";ckpt=" + (result.checkpoint_ok ? "ok" : "none") +
+                    ";read_us=" + std::to_string(result.modeled_latency));
+    }
+  }
+  // Reconcile with replica peers through the existing repair path: the
+  // recovered node re-pushes objects it roots (covering replicas its
+  // peers lost), and the next healing sweep re-pushes from other roots
+  // anything this node's disk did not have.
+  heal_host(host, store_node);
+}
+
+DurabilityStats ObjectStore::durability_stats() const {
+  DurabilityStats total;
+  for (const auto& [host, journal] : journals_) {
+    const DurabilityStats& s = journal->stats();
+    total.wal_appends += s.wal_appends;
+    total.wal_bytes += s.wal_bytes;
+    total.checkpoints += s.checkpoints;
+    total.checkpoint_bytes += s.checkpoint_bytes;
+    total.logical_bytes += s.logical_bytes;
+    total.recoveries += s.recoveries;
+    total.records_replayed += s.records_replayed;
+    total.torn_records_discarded += s.torn_records_discarded;
+    total.corrupt_checkpoints += s.corrupt_checkpoints;
+    total.recovery_bytes_read += s.recovery_bytes_read;
+    total.recovery_us_total += s.recovery_us_total;
+  }
+  return total;
+}
+
+const StoreJournal* ObjectStore::journal(sim::HostId host) const {
+  auto it = journals_.find(host);
+  return it == journals_.end() ? nullptr : it->second.get();
 }
 
 int ObjectStore::live_replicas(const ObjectId& id) const {

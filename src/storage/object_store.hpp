@@ -25,7 +25,10 @@
 #include <memory>
 
 #include "overlay/overlay_network.hpp"
+#include "sim/churn.hpp"
+#include "sim/durable_disk.hpp"
 #include "sim/reliable.hpp"
+#include "storage/durability.hpp"
 #include "storage/store_node.hpp"
 
 namespace aa::storage {
@@ -64,6 +67,14 @@ class ObjectStore {
     /// timeout machinery and stays raw.  Off by default.
     bool reliable_repair = false;
     sim::ReliableParams reliable;
+    /// Durability tier (storage/durability.hpp).  Persistent tiers
+    /// require `disk`; a crashed node then recovers its authoritative
+    /// state from checkpoint + WAL replay instead of starting empty.
+    StoreTier tier = StoreTier::kVolatile;
+    /// kLogged: WAL records between checkpoints.
+    std::uint32_t checkpoint_every = 64;
+    /// The per-host durable disk backing persistent tiers (not owned).
+    sim::DurableDisk* disk = nullptr;
   };
 
   ObjectStore(sim::Network& net, overlay::OverlayNetwork& overlay, Params params);
@@ -101,6 +112,21 @@ class ObjectStore {
   /// joined the overlay afterwards (puts/gets/node() also self-heal on
   /// first touch).
   void sync_hosts();
+
+  /// Registers recovery hooks with `churn` for every current host (and
+  /// every host enrolled later), so a rejoin runs recover_host() before
+  /// kJoin observers fire.
+  void attach_churn(sim::ChurnInjector& churn);
+
+  /// Crash recovery for one host: wipes the node's in-memory state (a
+  /// crash lost it), replays durable state per the tier, then
+  /// reconciles with replica peers via the existing repair path.
+  /// Called by the churn recovery hook; callable directly by tests.
+  void recover_host(sim::HostId host);
+
+  /// Aggregated journal stats across hosts (zeros for kVolatile).
+  DurabilityStats durability_stats() const;
+  const StoreJournal* journal(sim::HostId host) const;
 
   /// Oracle (tests/experiments): replicas of `id` currently held on live
   /// hosts.
@@ -142,6 +168,8 @@ class ObjectStore {
   void start_reconstruction(sim::HostId root, const ObjectId& id, std::uint64_t request_id,
                             sim::HostId requester);
   void healing_sweep();
+  /// One host's healing pass: re-push every object this host roots.
+  void heal_host(sim::HostId host, StoreNode& store_node);
 
   /// Repair-plane send: reliable transport when enabled, raw
   /// kDirectProto datagram otherwise.
@@ -152,7 +180,9 @@ class ObjectStore {
   Params params_;
   std::unique_ptr<sim::ReliableTransport> repair_transport_;
   std::unique_ptr<ErasureCoder> coder_;
+  sim::ChurnInjector* churn_ = nullptr;
   std::map<sim::HostId, std::unique_ptr<StoreNode>> nodes_;
+  std::map<sim::HostId, std::unique_ptr<StoreJournal>> journals_;
   std::map<std::uint64_t, PendingGet> pending_gets_;
   std::map<std::uint64_t, PendingPut> pending_puts_;
   std::map<std::uint64_t, Gather> gathers_;

@@ -1,6 +1,17 @@
 #include "storage/store_node.hpp"
 
+#include "storage/durability.hpp"
+
 namespace aa::storage {
+
+void StoreNode::clear_all() {
+  replicas_.clear();
+  fragments_.clear();
+  replica_bytes_ = 0;
+  cache_.clear();
+  lru_.clear();
+  cache_bytes_ = 0;
+}
 
 void StoreNode::store_replica(const ObjectId& id, Bytes data) {
   auto it = replicas_.find(id);
@@ -8,10 +19,13 @@ void StoreNode::store_replica(const ObjectId& id, Bytes data) {
     replica_bytes_ -= it->second.size();
     it->second = std::move(data);
     replica_bytes_ += it->second.size();
+    if (journal_ != nullptr) journal_->record_replica_put(id, it->second);
     return;
   }
   replica_bytes_ += data.size();
-  replicas_.emplace(id, std::move(data));
+  auto [pos, inserted] = replicas_.emplace(id, std::move(data));
+  (void)inserted;
+  if (journal_ != nullptr) journal_->record_replica_put(id, pos->second);
 }
 
 const Bytes* StoreNode::replica(const ObjectId& id) const {
@@ -24,6 +38,7 @@ bool StoreNode::drop_replica(const ObjectId& id) {
   if (it == replicas_.end()) return false;
   replica_bytes_ -= it->second.size();
   replicas_.erase(it);
+  if (journal_ != nullptr) journal_->record_replica_drop(id);
   return true;
 }
 
@@ -35,7 +50,9 @@ std::vector<ObjectId> StoreNode::replica_ids() const {
 }
 
 void StoreNode::store_fragment(const ObjectId& id, Fragment fragment) {
-  fragments_[id] = std::move(fragment);
+  Fragment& slot = fragments_[id];
+  slot = std::move(fragment);
+  if (journal_ != nullptr) journal_->record_fragment_put(id, slot);
 }
 
 const Fragment* StoreNode::fragment(const ObjectId& id) const {
@@ -43,7 +60,11 @@ const Fragment* StoreNode::fragment(const ObjectId& id) const {
   return it == fragments_.end() ? nullptr : &it->second;
 }
 
-bool StoreNode::drop_fragment(const ObjectId& id) { return fragments_.erase(id) > 0; }
+bool StoreNode::drop_fragment(const ObjectId& id) {
+  if (fragments_.erase(id) == 0) return false;
+  if (journal_ != nullptr) journal_->record_fragment_drop(id);
+  return true;
+}
 
 std::vector<ObjectId> StoreNode::fragment_ids() const {
   std::vector<ObjectId> out;

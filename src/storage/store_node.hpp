@@ -20,6 +20,8 @@
 
 namespace aa::storage {
 
+class StoreJournal;
+
 struct StoreNodeStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
@@ -30,6 +32,15 @@ class StoreNode {
  public:
   explicit StoreNode(std::size_t cache_capacity_bytes)
       : cache_capacity_(cache_capacity_bytes) {}
+
+  /// Journals every authoritative mutation (replicas and fragments —
+  /// never the cache, which is volatile by design).  Nullptr for the
+  /// volatile tier.
+  void set_journal(StoreJournal* journal) { journal_ = journal; }
+
+  /// Wipes all state (replicas, fragments, cache): what a crash does to
+  /// the host's memory.  Recovery replay repopulates from disk.
+  void clear_all();
 
   // --- Authoritative replicas ---
   void store_replica(const ObjectId& id, Bytes data);
@@ -56,6 +67,7 @@ class StoreNode {
  private:
   void evict_until_fits(std::size_t incoming);
 
+  StoreJournal* journal_ = nullptr;
   std::map<ObjectId, Bytes> replicas_;
   std::map<ObjectId, Fragment> fragments_;
   std::size_t replica_bytes_ = 0;

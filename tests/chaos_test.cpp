@@ -20,10 +20,13 @@
 #include <string>
 #include <vector>
 
+#include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "obs/trace.hpp"
 #include "pubsub/siena_network.hpp"
 #include "sim/churn.hpp"
+#include "sim/durable_disk.hpp"
+#include "storage/durability.hpp"
 #include "storage/object_store.hpp"
 
 namespace aa {
@@ -317,6 +320,236 @@ TEST(Chaos, StorageHealingRepairsThroughLossyLinks) {
   EXPECT_GE(store.live_replicas(id), 5);
   EXPECT_GT(store.stats().heal_pushes, 0u);
   EXPECT_GT(net.stats().retransmits, 0u);
+}
+
+// --- Crash-durable recovery: store node ---
+
+// One store crash round: 10 content-addressed puts, a directed crash of
+// a replica-holding host while journal flushes and repair pushes are
+// still in flight, a rejoin with supervised recovery, then healing
+// sweeps.  The fault-free oracle digest is the put payloads themselves
+// (content addressing makes any corruption or loss visible at get()).
+void store_crash_recover_round(storage::StoreTier tier, std::uint64_t seed) {
+  SCOPED_TRACE("tier=" + std::string(storage::tier_name(tier)) +
+               " seed=" + std::to_string(seed));
+  sim::Scheduler sched;
+  auto topo = std::make_shared<sim::UniformTopology>(16, duration::millis(10));
+  sim::Network net(sched, topo);
+  overlay::OverlayNetwork::Params op;
+  op.maintenance_period = 0;
+  overlay::OverlayNetwork overlay(net, op);
+  std::vector<sim::HostId> hosts;
+  for (sim::HostId h = 0; h < 16; ++h) hosts.push_back(h);
+  overlay.build_ring(hosts);
+
+  sim::DiskParams dp;
+  dp.fsync_latency = duration::millis(20);  // slow enough to crash mid-flush
+  dp.seed = seed * 1001 + 7;
+  sim::DurableDisk disk(net, dp);
+
+  storage::ObjectStore::Params p;
+  p.replicas = 3;
+  p.healing_period = duration::seconds(5);
+  p.reliable_repair = true;
+  p.reliable = chaos_reliable_params();
+  p.tier = tier;
+  p.checkpoint_every = 4;
+  p.disk = &disk;
+  storage::ObjectStore store(net, overlay, p);
+  sim::ChurnInjector churn(net, {});
+  store.attach_churn(churn);
+
+  std::map<ObjectId, Bytes> oracle;
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < 10; ++i) {
+    Bytes data(100 + 13 * static_cast<std::size_t>(i));
+    for (std::size_t b = 0; b < data.size(); ++b) {
+      data[b] = static_cast<std::uint8_t>(seed * 17 + static_cast<std::uint64_t>(i) + b);
+    }
+    const ObjectId id = Uid160(Sha1::hash(data));
+    oracle[id] = data;
+    ids.push_back(id);
+    const sim::HostId from = static_cast<sim::HostId>(i);
+    sched.after(duration::millis(5) * (i + 1), [&store, from, data] {
+      store.put(from, data);
+    });
+  }
+
+  // Mid-run crash: pick (at crash time) a live host that holds a
+  // replica of the first object but roots none of the oracle objects,
+  // so root-driven healing can refill it after rejoin in every tier.
+  sim::HostId victim = sim::kNoHost;
+  sched.after(duration::millis(120), [&] {
+    const auto root = overlay.true_root(ids[0]);
+    for (sim::HostId h : hosts) {
+      if (h == root.host || !net.host_up(h)) continue;
+      if (store.node(h)->replica(ids[0]) == nullptr) continue;
+      bool roots_any = false;
+      for (const ObjectId& id : ids) {
+        overlay::OverlayNode* n = overlay.node_at(h);
+        if (n == nullptr || !n->next_hop(id).has_value()) {
+          roots_any = true;
+          break;
+        }
+      }
+      if (roots_any) continue;
+      victim = h;
+      break;
+    }
+    ASSERT_NE(victim, sim::kNoHost) << "no replica holder free of root duty";
+    churn.kill(victim, /*graceful=*/false);
+    sched.after(duration::millis(400), [&churn, &victim] { churn.revive(victim); });
+    // Right after the rejoin (recovery hook has run, first healing
+    // sweep has not): persistent tiers restored replicas from disk,
+    // the volatile tier came back empty.
+    sched.after(duration::millis(401), [&store, &victim, tier] {
+      const std::size_t restored = store.node(victim)->replica_ids().size();
+      if (tier == storage::StoreTier::kVolatile) {
+        EXPECT_EQ(restored, 0u);
+      } else {
+        EXPECT_GT(restored, 0u);
+      }
+    });
+  });
+
+  sched.run_for(duration::seconds(30));  // several healing sweeps
+
+  // Digest convergence: every object retrievable with oracle bytes.
+  std::size_t correct = 0;
+  for (const auto& [id, data] : oracle) {
+    const Bytes& expected = data;
+    store.get(1, id, [&correct, &expected](Result<Bytes> r) {
+      if (r.is_ok() && r.value() == expected) ++correct;
+    });
+  }
+  sched.run_for(duration::seconds(15));
+  EXPECT_EQ(correct, oracle.size());
+  EXPECT_GE(store.live_replicas(ids[0]), p.replicas);
+
+  const storage::DurabilityStats dur = store.durability_stats();
+  if (tier == storage::StoreTier::kVolatile) {
+    EXPECT_EQ(dur.recoveries, 0u);  // no journals exist at all
+  } else {
+    EXPECT_GE(dur.recoveries, 1u);
+    EXPECT_GT(dur.write_amplification(), 0.0);
+  }
+  if (tier == storage::StoreTier::kLogged) EXPECT_GT(dur.wal_appends, 0u);
+  if (tier == storage::StoreTier::kPersistent) EXPECT_GT(dur.checkpoints, 0u);
+}
+
+TEST(Chaos, StoreNodeCrashRecoverConvergesInAllTiers) {
+  for (std::uint64_t seed = 1; seed <= 7; ++seed) {
+    store_crash_recover_round(storage::StoreTier::kVolatile, seed);
+    store_crash_recover_round(storage::StoreTier::kPersistent, seed);
+    store_crash_recover_round(storage::StoreTier::kLogged, seed);
+  }
+}
+
+// --- Crash-durable recovery: broker ---
+
+struct BrokerCrashResult {
+  Digest digest;
+  std::uint64_t deliveries = 0;
+  pubsub::BrokerStats broker;
+  std::uint64_t incarnation_give_ups = 0;
+  std::size_t stalled_left = 0;
+};
+
+// Brokers 0-1-2 in a chain; clients 3..5 hang off broker 0 and 6..8 off
+// broker 2, so every cross-group delivery crosses broker 1 — the crash
+// victim.  `crash_at` == 0 runs the fault-free oracle.
+BrokerCrashResult run_broker_crash_scenario(SimDuration crash_at, SimDuration revive_at,
+                                            std::uint64_t seed) {
+  BrokerCrashResult result;
+  sim::Scheduler sched;
+  auto topo = std::make_shared<sim::UniformTopology>(9, duration::millis(5));
+  sim::Network net(sched, topo);
+  SienaNetwork ps(net, {0, 1, 2});
+  (void)ps.connect(0, 1);
+  (void)ps.connect(1, 2);
+  ps.enable_reliable_transport(chaos_reliable_params());
+  sim::DiskParams dp;
+  dp.fsync_latency = duration::millis(5);  // checkpoints can crash mid-flush
+  dp.seed = seed * 7 + 3;
+  sim::DurableDisk disk(net, dp);
+  ps.enable_broker_checkpoints(disk);
+  sim::ChurnInjector churn(net, {});
+  ps.attach_churn(churn);
+
+  Digest& digest = result.digest;
+  for (sim::HostId h = 3; h <= 8; ++h) {
+    ps.attach_client(h, h <= 5 ? 0 : 2);
+    sched.after(duration::millis(3) * (h - 2), [&ps, &digest, h] {
+      ps.subscribe(h, Filter().where("type", Op::kEq, "t" + std::to_string(h % 3)),
+                   [&digest, h](const Event& e) {
+                     digest[h].push_back(e.get_string("key").value_or("?"));
+                   });
+    });
+  }
+  if (crash_at > 0) {
+    sched.after(crash_at, [&churn] { churn.kill(1, /*graceful=*/false); });
+    sched.after(revive_at, [&churn] { churn.revive(1); });
+  }
+  // 6 publishers x 20 rounds from 800 ms on; each event's type matches
+  // exactly two subscribers (one in each group).
+  for (int r = 0; r < 20; ++r) {
+    for (sim::HostId pub = 3; pub <= 8; ++pub) {
+      const SimDuration when =
+          duration::millis(800) +
+          duration::millis(5) * static_cast<SimDuration>(r * 6 + static_cast<int>(pub) - 3);
+      sched.after(when, [&ps, pub, r] {
+        Event e("t" + std::to_string((static_cast<int>(pub) + r) % 3));
+        e.set("key", "p" + std::to_string(pub) + "r" + std::to_string(r));
+        ps.publish(pub, e);
+      });
+    }
+  }
+  sched.run();
+
+  for (const auto& [h, keys] : digest) result.deliveries += keys.size();
+  for (auto& [h, keys] : digest) std::sort(keys.begin(), keys.end());
+  result.broker = ps.total_broker_stats();
+  result.incarnation_give_ups = ps.reliable_transport()->stats().incarnation_give_ups;
+  result.stalled_left = ps.stalled_packets();
+  return result;
+}
+
+TEST(Chaos, BrokerCrashMidPublishConvergesToOracleDigest) {
+  const BrokerCrashResult oracle = run_broker_crash_scenario(0, 0, 1);
+  // 120 events, each matching exactly 2 subscriptions.
+  ASSERT_EQ(oracle.deliveries, 240u);
+  ASSERT_EQ(oracle.broker.recoveries, 0u);
+
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    // Crash lands mid-flight of a publish wave crossing broker 1.
+    const BrokerCrashResult crash = run_broker_crash_scenario(
+        duration::millis(1002) + duration::micros(337), duration::millis(1352), seed);
+    EXPECT_EQ(crash.digest, oracle.digest) << "seed " << seed;
+    EXPECT_GE(crash.broker.recoveries, 1u);
+    EXPECT_GE(crash.broker.sync_requests, 2u);  // one per neighbour
+    EXPECT_GE(crash.broker.sync_replies, 1u);
+    // In-flight publications at the crash were given up on promptly,
+    // parked, and flushed into the recovered broker.
+    EXPECT_GT(crash.incarnation_give_ups, 0u) << "seed " << seed;
+    EXPECT_EQ(crash.stalled_left, 0u);
+  }
+}
+
+TEST(Chaos, BrokerCrashDuringSubscriptionPropagationConverges) {
+  // The nastier window: broker 1 dies while subscriptions are still
+  // propagating and its own routing-state checkpoints are mid-flush.
+  // Recovery must combine whatever checkpoint half survived with the
+  // peer sync protocol and the flushed stalled traffic, and still end
+  // up with routing state that delivers the exact oracle digest.
+  const BrokerCrashResult oracle = run_broker_crash_scenario(0, 0, 1);
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const BrokerCrashResult crash = run_broker_crash_scenario(
+        duration::millis(21) + duration::micros(113), duration::millis(400), seed);
+    EXPECT_EQ(crash.digest, oracle.digest) << "seed " << seed;
+    EXPECT_GE(crash.broker.recoveries, 1u);
+    EXPECT_GE(crash.broker.checkpoints, 1u);
+    EXPECT_EQ(crash.stalled_left, 0u);
+  }
 }
 
 }  // namespace

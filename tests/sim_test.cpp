@@ -540,6 +540,55 @@ TEST(ReliableTransport, GivesUpAfterRetryCapWhenPeerIsDown) {
   EXPECT_EQ(rt.in_flight(), 0u);
 }
 
+TEST(ReliableTransport, GivesUpPromptlyWhenPeerReincarnates) {
+  // Regression: the transport used to burn the full retry budget against
+  // a peer that had crashed and rejoined, even though the reincarnated
+  // endpoint can never ack the old send.  The incarnation recorded at
+  // send time must trigger a give-up at the first retry after the bump.
+  NetFixture f;
+  ReliableParams rp;
+  rp.initial_rto = duration::millis(10);
+  rp.max_rto = duration::millis(10);
+  rp.max_retries = 1000;  // a full-budget wait would run ~10 s
+  ReliableTransport rt(f.net, "rel", rp);
+  rt.register_handler(1, [](const Packet&) {});
+  int gave_up = 0;
+  rt.set_give_up([&](const Packet&) { ++gave_up; });
+  f.net.partition("cut", {0}, {1});  // the send and retries all drop
+  rt.send(0, 1, 7, 50);
+  f.sched.after(duration::millis(25), [&] {
+    f.net.set_host_up(1, false);  // crash bumps the incarnation
+    f.net.set_host_up(1, true);
+    f.net.heal("cut");
+  });
+  f.sched.run();
+  EXPECT_EQ(gave_up, 1);
+  EXPECT_EQ(rt.stats().incarnation_give_ups, 1u);
+  EXPECT_EQ(rt.stats().give_ups, 1u);
+  EXPECT_LT(rt.stats().retransmits, 6u);  // gave up promptly, not at cap
+  EXPECT_EQ(rt.in_flight(), 0u);
+  // The scheduler drained in well under the full-budget horizon.
+  EXPECT_LT(f.sched.now(), duration::seconds(1));
+}
+
+TEST(ReliableTransport, SameIncarnationStillRetriesToCap) {
+  // Control for the above: a peer that is merely unreachable (same
+  // incarnation) must still get the whole retry budget.
+  NetFixture f;
+  ReliableParams rp;
+  rp.initial_rto = duration::millis(5);
+  rp.max_rto = duration::millis(5);
+  rp.max_retries = 4;
+  ReliableTransport rt(f.net, "rel", rp);
+  rt.register_handler(1, [](const Packet&) {});
+  f.net.partition("cut", {0}, {1});
+  rt.send(0, 1, 7, 50);
+  f.sched.run();
+  EXPECT_EQ(rt.stats().retransmits, 4u);
+  EXPECT_EQ(rt.stats().give_ups, 1u);
+  EXPECT_EQ(rt.stats().incarnation_give_ups, 0u);
+}
+
 // --- Churn ---
 
 TEST(Churn, DirectedKillAndRevive) {
@@ -578,6 +627,31 @@ TEST(Churn, CrashNotifiesAfterDown) {
   churn.kill(2, /*graceful=*/false);
   EXPECT_FALSE(was_up_at_notification);
   EXPECT_FALSE(f.net.host_up(2));
+}
+
+TEST(Churn, RecoveryHooksRunAfterUpBeforeJoinObservers) {
+  // A rejoin must run the host's recovery hooks (store replay, broker
+  // checkpoint restore) after the host is back up but before kJoin
+  // observers fire, so overlay repair and workloads reacting to the
+  // join see recovered state, not an empty node.
+  NetFixture f;
+  ChurnInjector churn(f.net, {});
+  std::vector<std::string> order;
+  churn.add_recovery_hook(2, [&](HostId h) {
+    EXPECT_EQ(h, 2u);
+    EXPECT_TRUE(f.net.host_up(2));  // host already up when hooks run
+    order.push_back("recover-a");
+  });
+  churn.add_recovery_hook(2, [&](HostId) { order.push_back("recover-b"); });
+  churn.add_recovery_hook(3, [&](HostId) { order.push_back("other-host"); });
+  churn.add_observer([&](HostId h, ChurnEvent e) {
+    if (e == ChurnEvent::kJoin) order.push_back("join-" + std::to_string(h));
+  });
+  churn.kill(2, /*graceful=*/false);
+  churn.revive(2);
+  // Hooks run in registration order, only for the rejoining host, and
+  // strictly before the kJoin observers.
+  EXPECT_EQ(order, (std::vector<std::string>{"recover-a", "recover-b", "join-2"}));
 }
 
 TEST(Churn, KillRespectsProtectedHosts) {
