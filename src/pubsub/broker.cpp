@@ -394,16 +394,17 @@ void Broker::handle_sync_reply(sim::HostId peer, const SyncReplyMsg& reply) {
   // peer: drop what it no longer has (unsubscribed while we were down),
   // then (re)install what it does.  handle_subscribe/-advertise keep
   // forwarding toward our other neighbours consistent.
+  const Iface source{Iface::Kind::kBroker, peer};
   std::set<std::uint64_t> sub_ids;
   for (const SubscribeMsg& s : reply.subscriptions) sub_ids.insert(s.id);
-  std::erase_if(table_, [&](const auto& entry) {
-    const bool stale = entry.second.source.kind == Iface::Kind::kBroker &&
-                       entry.second.source.host == peer &&
-                       !sub_ids.contains(entry.first);
-    if (stale) index_.remove(entry.first);
-    return stale;
-  });
-  const Iface source{Iface::Kind::kBroker, peer};
+  std::vector<std::uint64_t> stale;
+  for (const auto& [id, entry] : table_) {
+    if (entry.source == source && !sub_ids.contains(id)) stale.push_back(id);
+  }
+  // Full unsubscribe, not a bare table erase: neighbours we forwarded a
+  // stale id to must stop routing on it, and its forwarded_ markers
+  // must clear or a later re-subscribe with the same id is suppressed.
+  for (std::uint64_t id : stale) handle_unsubscribe(id, source);
   for (const SubscribeMsg& s : reply.subscriptions) {
     handle_subscribe(s.id, s.filter, source);
   }

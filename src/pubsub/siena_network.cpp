@@ -154,6 +154,11 @@ void SienaNetwork::enable_reliable_transport(const sim::ReliableParams& params) 
     transport_->register_handler(h, [raw](const sim::Packet& p) { raw->on_message(p); });
     raw->set_transport(transport_.get());
   }
+  // Checkpoints may already be enabled (call order is free): parking of
+  // gave-up traffic for recovering brokers must hook in either way.
+  if (disk_ != nullptr) {
+    transport_->set_give_up([this](const sim::Packet& p) { on_transport_give_up(p); });
+  }
 }
 
 void SienaNetwork::enable_broker_checkpoints(sim::DurableDisk& disk,

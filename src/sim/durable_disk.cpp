@@ -156,9 +156,12 @@ void DurableDisk::on_host_transition(HostId host, bool up) {
       // application cannot distinguish ghost from lost, which is
       // exactly the ambiguity recovery replay must absorb.
       const double u = rng_.uniform();
-      if (u < params_.torn_write_prob) {
+      if (u < params_.torn_write_prob && op.data.size() > 1) {
+        // A torn write lands a *strict* prefix — landing completely
+        // would be a ghost, and a 1-byte op can only ghost or vanish
+        // (it falls through to the ghost draw below).
         ++stats_.torn_ops;
-        apply(op, 1 + rng_.below(op.data.size()));
+        apply(op, 1 + rng_.below(op.data.size() - 1));
       } else if (u < params_.torn_write_prob + params_.ghost_write_prob) {
         ++stats_.ghost_ops;
         apply(op, op.data.size());

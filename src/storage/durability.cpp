@@ -216,8 +216,16 @@ StoreJournal::RecoveryResult StoreJournal::recover(StoreNode& node) {
   }
   std::sort(epochs.begin(), epochs.end());
   bool torn = false;
+  std::uint64_t resume_epoch = best_seq;
   for (const std::uint64_t epoch : epochs) {
-    if (torn) break;  // nothing after a torn tail is trustworthy
+    if (torn) {
+      // Nothing after a torn tail is trustworthy — and leaving it on
+      // disk would let a later recovery replay records this one
+      // discarded.
+      disk_.remove(host_, wal_file(epoch));
+      continue;
+    }
+    resume_epoch = epoch;
     const Bytes* segment = disk_.read(host_, wal_file(epoch));
     if (segment == nullptr) continue;
     result.bytes_read += segment->size();
@@ -288,11 +296,15 @@ StoreJournal::RecoveryResult StoreJournal::recover(StoreNode& node) {
   stats_.recovery_bytes_read += result.bytes_read;
   stats_.recovery_us_total += static_cast<std::uint64_t>(result.modeled_latency);
 
-  // Resume journalling from the recovered horizon: new records continue
-  // the surviving epoch; the next checkpoint supersedes it.
+  // Resume journalling past every segment still on disk: checkpoints
+  // initiated-but-not-durable before the crash left WAL epochs above
+  // the recovered seq, and a new checkpoint sequence that reuses those
+  // numbers would leave them alive past its cleanup — a second crash
+  // would then replay the stale pre-crash records *after* the newer
+  // checkpoint, regressing durable state.
   durable_ckpt_seq_ = best_seq;
-  next_ckpt_seq_ = best_seq + 1;
-  current_epoch_ = best_seq;
+  next_ckpt_seq_ = resume_epoch + 1;
+  current_epoch_ = resume_epoch;
   records_since_ckpt_ = static_cast<std::uint32_t>(
       std::min<std::uint64_t>(result.records_replayed, checkpoint_every_));
   replaying_ = false;

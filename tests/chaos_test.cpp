@@ -459,7 +459,8 @@ struct BrokerCrashResult {
 // broker 2, so every cross-group delivery crosses broker 1 — the crash
 // victim.  `crash_at` == 0 runs the fault-free oracle.
 BrokerCrashResult run_broker_crash_scenario(SimDuration crash_at, SimDuration revive_at,
-                                            std::uint64_t seed) {
+                                            std::uint64_t seed,
+                                            bool checkpoints_before_transport = false) {
   BrokerCrashResult result;
   sim::Scheduler sched;
   auto topo = std::make_shared<sim::UniformTopology>(9, duration::millis(5));
@@ -467,12 +468,19 @@ BrokerCrashResult run_broker_crash_scenario(SimDuration crash_at, SimDuration re
   SienaNetwork ps(net, {0, 1, 2});
   (void)ps.connect(0, 1);
   (void)ps.connect(1, 2);
-  ps.enable_reliable_transport(chaos_reliable_params());
   sim::DiskParams dp;
   dp.fsync_latency = duration::millis(5);  // checkpoints can crash mid-flush
   dp.seed = seed * 7 + 3;
   sim::DurableDisk disk(net, dp);
-  ps.enable_broker_checkpoints(disk);
+  // Both enable orders must behave identically (give-up parking hooks
+  // in regardless of which feature comes up first).
+  if (checkpoints_before_transport) {
+    ps.enable_broker_checkpoints(disk);
+    ps.enable_reliable_transport(chaos_reliable_params());
+  } else {
+    ps.enable_reliable_transport(chaos_reliable_params());
+    ps.enable_broker_checkpoints(disk);
+  }
   sim::ChurnInjector churn(net, {});
   ps.attach_churn(churn);
 
@@ -533,6 +541,62 @@ TEST(Chaos, BrokerCrashMidPublishConvergesToOracleDigest) {
     EXPECT_GT(crash.incarnation_give_ups, 0u) << "seed " << seed;
     EXPECT_EQ(crash.stalled_left, 0u);
   }
+}
+
+TEST(Chaos, BrokerCheckpointsEnabledBeforeTransportStillParkGiveUps) {
+  // enable_broker_checkpoints before enable_reliable_transport: the
+  // transport's give-up hook must still be installed, or traffic to the
+  // crashed broker is dropped instead of parked and re-flushed.
+  const BrokerCrashResult oracle = run_broker_crash_scenario(0, 0, 1);
+  const BrokerCrashResult crash = run_broker_crash_scenario(
+      duration::millis(1002) + duration::micros(337), duration::millis(1352), 1,
+      /*checkpoints_before_transport=*/true);
+  EXPECT_EQ(crash.digest, oracle.digest);
+  EXPECT_GT(crash.incarnation_give_ups, 0u);
+  EXPECT_EQ(crash.stalled_left, 0u);
+}
+
+TEST(Chaos, BrokerRecoverySyncTearsDownStaleDownstreamRoutes) {
+  // Client 3 (broker 0) subscribes; the route reaches broker 2.  While
+  // broker 1 is down, the client unsubscribes — the teardown dies at
+  // the dead broker.  Recovery sync with broker 0 reveals the entry is
+  // stale; broker 1 must then propagate the unsubscribe downstream, or
+  // broker 2 forwards matching publishes at a dangling route forever.
+  sim::Scheduler sched;
+  auto topo = std::make_shared<sim::UniformTopology>(9, duration::millis(5));
+  sim::Network net(sched, topo);
+  SienaNetwork ps(net, {0, 1, 2});
+  (void)ps.connect(0, 1);
+  (void)ps.connect(1, 2);
+  sim::DurableDisk disk(net);
+  ps.enable_broker_checkpoints(disk);
+  sim::ChurnInjector churn(net, {});
+  ps.attach_churn(churn);
+  ps.attach_client(3, 0);
+  ps.attach_client(6, 2);
+
+  int delivered = 0;
+  const std::uint64_t sub = ps.subscribe(
+      3, Filter().where("type", Op::kEq, "t"), [&](const Event&) { ++delivered; });
+  sched.run();
+  ps.publish(6, Event("t"));  // positive control: the route works
+  sched.run();
+  ASSERT_EQ(delivered, 1);
+
+  churn.kill(1, /*graceful=*/false);
+  sched.run();
+  ps.unsubscribe(3, sub);  // teardown toward dead broker 1 is lost
+  sched.run();
+  churn.revive(1);  // recovery + peer sync with brokers 0 and 2
+  sched.run();
+
+  const std::uint64_t routed_before = ps.broker(1)->stats().publications_routed;
+  ps.publish(6, Event("t"));
+  sched.run();
+  EXPECT_EQ(delivered, 1);  // the unsubscribe holds either way...
+  // ...but broker 2 must have dropped the stale route, so nothing is
+  // forwarded into broker 1 at all.
+  EXPECT_EQ(ps.broker(1)->stats().publications_routed, routed_before);
 }
 
 TEST(Chaos, BrokerCrashDuringSubscriptionPropagationConverges) {

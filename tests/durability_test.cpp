@@ -12,6 +12,7 @@
 // the history ever had.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -106,11 +107,12 @@ TEST(DurableDisk, CrashTearsHeadOpAndLosesTheQueue) {
   // No completion callback of a crashed op ever fires.
   EXPECT_FALSE(head_done);
   EXPECT_FALSE(tail_done);
-  // Head: a non-empty prefix reached the platter.
+  // Head: a non-empty *strict* prefix reached the platter (a complete
+  // landing would be a ghost write, not a torn one).
   ASSERT_NE(disk.read(0, "a"), nullptr);
   const Bytes& torn = *disk.read(0, "a");
   ASSERT_FALSE(torn.empty());
-  ASSERT_LE(torn.size(), data.size());
+  ASSERT_LT(torn.size(), data.size());
   EXPECT_TRUE(std::equal(torn.begin(), torn.end(), data.begin()));
   // Queued op behind the head vanished outright.
   EXPECT_FALSE(disk.exists(0, "b"));
@@ -165,13 +167,31 @@ TEST(DurableDisk, CrashTearsAppendTailOnly) {
   f.sched.run();
   ASSERT_NE(disk.read(0, "log"), nullptr);
   const Bytes& log = *disk.read(0, "log");
-  // The durable first record is intact; the second is a torn tail.
+  // The durable first record is intact; the second is a torn tail —
+  // strictly shorter than the full record.
   ASSERT_GT(log.size(), 100u);
-  ASSERT_LE(log.size(), 200u);
+  ASSERT_LT(log.size(), 200u);
   EXPECT_TRUE(std::all_of(log.begin(), log.begin() + 100,
                           [](std::uint8_t b) { return b == 1; }));
   EXPECT_TRUE(std::all_of(log.begin() + 100, log.end(),
                           [](std::uint8_t b) { return b == 2; }));
+}
+
+TEST(DurableDisk, OneByteOpCannotTearItGhostsInstead) {
+  // A torn write is a strict prefix; a 1-byte op has none, so the torn
+  // draw reclassifies as a ghost (landed fully, never acked).
+  DiskFixture f;
+  DiskParams p;
+  p.torn_write_prob = 1.0;
+  p.ghost_write_prob = 0.0;
+  DurableDisk disk(f.net, p);
+  disk.write(0, "a", blob(1, 5));
+  f.net.set_host_up(0, false);
+  f.sched.run();
+  EXPECT_EQ(disk.stats().torn_ops, 0u);
+  EXPECT_EQ(disk.stats().ghost_ops, 1u);
+  ASSERT_NE(disk.read(0, "a"), nullptr);
+  EXPECT_EQ(*disk.read(0, "a"), blob(1, 5));
 }
 
 TEST(DurableDisk, CrashOutcomesAreDeterministicPerSeed) {
@@ -357,6 +377,99 @@ TEST(StoreJournal, CheckpointRetiresCoveredWalEpochs) {
   f.sched.run();
   journal.recover(node);
   EXPECT_NE(node.replica(oid(100)), nullptr);
+}
+
+// Mints a standalone WAL segment on a scratch host: runs `mutate`
+// against a throwaway journal whose epoch was advanced to 1 so the
+// records land in a fresh segment, and returns that segment's bytes.
+Bytes mint_wal_segment(DiskFixture& f, DurableDisk& disk, sim::HostId scratch_host,
+                       const std::function<void(StoreNode&)>& mutate) {
+  StoreNode scratch(1 << 20);
+  StoreJournal mint(disk, scratch_host, StoreTier::kLogged, 1000);
+  mint.bind(&scratch);
+  scratch.set_journal(&mint);
+  mint.checkpoint_now();  // epoch -> 1: the segment under mint is wal.1
+  f.sched.run();
+  mutate(scratch);
+  f.sched.run();
+  const Bytes* segment = disk.read(scratch_host, "store.wal.1");
+  return segment != nullptr ? *segment : Bytes{};
+}
+
+TEST(StoreJournal, RecoveryResumesPastStalePreCrashWalEpochs) {
+  // A checkpoint initiated-but-not-durable before a crash leaves a WAL
+  // segment whose epoch is above the recovered checkpoint seq.
+  // Recovery must resume sequence numbering past it: if it reused those
+  // numbers, the stale segment would outlive the next checkpoint's
+  // cleanup and a *second* recovery would replay the pre-crash records
+  // on top of newer durable state.
+  DiskFixture f;
+  DurableDisk disk(f.net);
+  const Bytes drop_x = mint_wal_segment(f, disk, 0, [](StoreNode& n) {
+    n.store_replica(oid(1), blob(50, 1));  // drop of a missing id is a no-op
+    n.drop_replica(oid(1));
+  });
+  ASSERT_FALSE(drop_x.empty());
+
+  // Host 1's crashed state: checkpoint seq 1 durable with X present,
+  // plus the epoch-2 segment of a checkpoint seq 2 that never landed,
+  // holding `drop X`.
+  StoreNode node(1 << 20);
+  StoreJournal journal(disk, 1, StoreTier::kLogged, 1000);
+  journal.bind(&node);
+  node.set_journal(&journal);
+  node.store_replica(oid(1), blob(50, 1));
+  journal.checkpoint_now();
+  f.sched.run();
+  disk.write(1, "store.wal.2", drop_x);
+  f.sched.run();
+
+  // First recovery replays the stale segment once: X is dropped.
+  journal.recover(node);
+  EXPECT_EQ(node.replica(oid(1)), nullptr);
+
+  // Post-recovery life re-puts X and checkpoints it durably...
+  node.store_replica(oid(1), blob(50, 9));
+  journal.checkpoint_now();
+  f.sched.run();
+
+  // ...so a second recovery must never replay the stale `drop X` over
+  // the newer checkpoint.
+  journal.recover(node);
+  ASSERT_NE(node.replica(oid(1)), nullptr);
+  EXPECT_EQ(*node.replica(oid(1)), blob(50, 9));
+}
+
+TEST(StoreJournal, TornTailRemovesUntrustedLaterEpochs) {
+  // Epochs after a torn tail are skipped by replay; they must also be
+  // removed from disk, or the next recovery (tail truncated by this
+  // one) would replay records this recovery discarded.
+  DiskFixture f;
+  DurableDisk disk(f.net);
+  const Bytes put_x = mint_wal_segment(
+      f, disk, 0, [](StoreNode& n) { n.store_replica(oid(1), blob(60, 1)); });
+  const Bytes put_y = mint_wal_segment(
+      f, disk, 3, [](StoreNode& n) { n.store_replica(oid(2), blob(60, 2)); });
+  ASSERT_FALSE(put_x.empty());
+  ASSERT_FALSE(put_y.empty());
+
+  disk.write(2, "store.wal.0", Bytes(put_x.begin(), put_x.end() - 1));  // torn
+  disk.write(2, "store.wal.1", put_y);
+  f.sched.run();
+
+  StoreNode node(1 << 20);
+  StoreJournal journal(disk, 2, StoreTier::kLogged, 1000);
+  journal.bind(&node);
+  node.set_journal(&journal);
+  const auto result = journal.recover(node);
+  EXPECT_EQ(result.records_replayed, 0u);
+  EXPECT_EQ(result.torn_discarded, 1u);
+  EXPECT_EQ(node.replica(oid(2)), nullptr);
+  EXPECT_FALSE(disk.exists(2, "store.wal.1"));
+
+  // Idempotent: a second recovery cannot resurrect the discarded put.
+  journal.recover(node);
+  EXPECT_EQ(node.replica(oid(2)), nullptr);
 }
 
 TEST(StoreJournal, LoggedAmplifiesLessThanPersistent) {
