@@ -9,6 +9,7 @@
 #include "common/rng.hpp"
 #include "event/filter_parser.hpp"
 #include "match/knowledge.hpp"
+#include "sim/scheduler.hpp"
 #include "storage/erasure.hpp"
 #include "xml/projection.hpp"
 
@@ -133,6 +134,29 @@ void BM_KnowledgeIndexedProbe(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KnowledgeIndexedProbe)->Arg(1000)->Arg(100000);
+
+void BM_SchedulerStepHeavyClosure(benchmark::State& state) {
+  // The per-event scheduler cost with a closure whose copy is expensive
+  // (range(0) words captured by value).  Execution must move the entry
+  // out of the heap: the pre-fix step() copied the whole std::function
+  // — and its captured state — out of queue_.top() for every event,
+  // which this line makes visible as a per-item regression.
+  const std::size_t words = static_cast<std::size_t>(state.range(0));
+  constexpr int kTasks = 512;
+  for (auto _ : state) {
+    sim::Scheduler s;
+    const std::vector<std::uint64_t> payload(words, 7);
+    std::uint64_t sink = 0;
+    for (int i = 0; i < kTasks; ++i) {
+      s.after(i + 1, [payload, &sink] { sink += payload[0]; });
+    }
+    while (s.step()) {
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * kTasks);
+}
+BENCHMARK(BM_SchedulerStepHeavyClosure)->Arg(16)->Arg(256);
 
 void BM_Uid160RingDistance(benchmark::State& state) {
   Rng rng(4);

@@ -135,6 +135,11 @@ ActiveArchitecture::ActiveArchitecture(Config config) : config_(config) {
   });
 
   sched_.run_for(config_.settle_time);
+
+  // Shard only after settling: construction wires handlers and seeds
+  // periodic maintenance from root context, which is cheapest to leave
+  // on the sequential path.
+  if (config_.threads > 1) net_->set_threads(config_.threads);
 }
 
 ActiveArchitecture::~ActiveArchitecture() { Logger::set_clock(nullptr); }

@@ -67,6 +67,15 @@ class ActiveArchitecture {
     SimDuration evolution_period = duration::seconds(10);
     /// Virtual time the constructor runs forward to settle the overlay.
     SimDuration settle_time = duration::seconds(30);
+    /// Scheduler shards driving the simulation (Network::set_threads),
+    /// applied after the overlay has settled.  Determinism is pinned for
+    /// the event-bus / reliable-transport / durable-disk paths (the
+    /// chaos suite runs bit-identical at any shard count).  Leave at 1
+    /// for workloads that drive the object store, overlay routing or
+    /// pipelines concurrently: those subsystems still keep store-wide
+    /// tables that only the sequential scheduler may touch (DESIGN.md,
+    /// sharded scheduler — storage limitation).
+    unsigned threads = 1;
   };
 
   explicit ActiveArchitecture(Config config);

@@ -24,6 +24,7 @@
 // so churn-broken paths heal within a few periods.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <set>
 

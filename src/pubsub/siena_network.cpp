@@ -1,12 +1,13 @@
 #include "pubsub/siena_network.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <map>
 
 namespace aa::pubsub {
 
 SienaNetwork::SienaNetwork(sim::Network& net, std::vector<sim::HostId> broker_hosts)
-    : net_(net), broker_hosts_(std::move(broker_hosts)) {
+    : net_(net), broker_hosts_(std::move(broker_hosts)), stalled_(net.host_count()) {
   for (sim::HostId h : broker_hosts_) {
     auto broker = std::make_unique<Broker>(net_, h);
     Broker* raw = broker.get();
@@ -184,16 +185,26 @@ void SienaNetwork::attach_churn(sim::ChurnInjector& churn) {
 
 void SienaNetwork::on_transport_give_up(const sim::Packet& packet) {
   // Only park traffic for brokers that will recover on rejoin; anything
-  // else gave up for good (e.g. a permanently cut-off peer).
-  if (!brokers_.contains(packet.dst)) return;
-  stalled_[packet.dst].push_back(packet);
+  // else gave up for good (e.g. a permanently cut-off peer).  Parking
+  // slot is the *source* host — the one whose timer fired — so no two
+  // shards ever write the same slot.
+  if (!brokers_.contains(packet.dst) || packet.src >= stalled_.size()) return;
+  stalled_[packet.src].push_back(packet);
 }
 
 void SienaNetwork::flush_stalled(sim::HostId host) {
-  auto it = stalled_.find(host);
-  if (it == stalled_.end()) return;
-  std::vector<sim::Packet> packets = std::move(it->second);
-  stalled_.erase(it);
+  // Runs from the host watcher, i.e. global context: every slot is
+  // quiescent and may be scanned for traffic parked for `host`.
+  std::vector<sim::Packet> packets;
+  for (std::vector<sim::Packet>& slot : stalled_) {
+    auto split = std::stable_partition(
+        slot.begin(), slot.end(),
+        [host](const sim::Packet& p) { return p.dst != host; });
+    packets.insert(packets.end(), std::make_move_iterator(split),
+                   std::make_move_iterator(slot.end()));
+    slot.erase(split, slot.end());
+  }
+  if (packets.empty()) return;
   // Defer past the synchronous rejoin machinery (recovery hooks run
   // inside set_host_up's watcher cascade), so the re-sent packets meet
   // a broker that has already restored its routing state.
@@ -205,7 +216,7 @@ void SienaNetwork::flush_stalled(sim::HostId host) {
 
 std::size_t SienaNetwork::stalled_packets() const {
   std::size_t total = 0;
-  for (const auto& [h, packets] : stalled_) total += packets.size();
+  for (const auto& packets : stalled_) total += packets.size();
   return total;
 }
 

@@ -129,8 +129,11 @@ class SienaNetwork final : public EventService {
   sim::DurableDisk* disk_ = nullptr;
   std::uint64_t watcher_id_ = 0;
   // Broker traffic the transport gave up on because the destination
-  // crashed; flushed (re-sent) when the destination rejoins.
-  std::map<sim::HostId, std::vector<sim::Packet>> stalled_;
+  // crashed; flushed (re-sent) when the destination rejoins.  Parked by
+  // *source* host: the give-up fires from the sender's retransmit timer
+  // (the sender's shard in parallel mode), so each slot has a single
+  // writer.  flush_stalled scans all slots from global context.
+  std::vector<std::vector<sim::Packet>> stalled_;
   std::map<sim::HostId, std::unique_ptr<Broker>> brokers_;
   std::map<sim::HostId, ClientState> clients_;
   std::vector<event::Advertisement> advertisements_;

@@ -9,7 +9,14 @@
 namespace aa::sim {
 
 DurableDisk::DurableDisk(Network& net, DiskParams params)
-    : net_(net), params_(params), rng_(params.seed) {
+    : net_(net),
+      params_(params),
+      rng_(params.seed),
+      next_op_(net.host_count(), 1),
+      queues_(net.host_count()),
+      head_timer_(net.host_count(), kInvalidTask),
+      files_(net.host_count()),
+      stats_slots_(net.host_count()) {
   watcher_id_ = net_.add_host_watcher(
       [this](HostId host, bool up) { on_host_transition(host, up); });
 }
@@ -17,12 +24,12 @@ DurableDisk::DurableDisk(Network& net, DiskParams params)
 DurableDisk::~DurableDisk() { net_.remove_host_watcher(watcher_id_); }
 
 void DurableDisk::write(HostId host, const std::string& file, Bytes data, Done done) {
-  if (!net_.host_up(host)) {
+  if (host >= queues_.size() || !net_.host_up(host)) {
     if (done) done(false);
     return;
   }
   Op op;
-  op.id = next_op_++;
+  op.id = next_op_[host]++;
   op.host = host;
   op.file = file;
   op.data = std::move(data);
@@ -34,12 +41,12 @@ void DurableDisk::write(HostId host, const std::string& file, Bytes data, Done d
 }
 
 void DurableDisk::append(HostId host, const std::string& file, Bytes record, Done done) {
-  if (!net_.host_up(host)) {
+  if (host >= queues_.size() || !net_.host_up(host)) {
     if (done) done(false);
     return;
   }
   Op op;
-  op.id = next_op_++;
+  op.id = next_op_[host]++;
   op.host = host;
   op.file = file;
   op.data = std::move(record);
@@ -51,26 +58,26 @@ void DurableDisk::append(HostId host, const std::string& file, Bytes record, Don
 }
 
 bool DurableDisk::remove(HostId host, const std::string& file) {
-  const bool existed = files_.erase({host, file}) > 0;
-  if (existed) ++stats_.removes;
+  if (host >= files_.size()) return false;
+  const bool existed = files_[host].erase(file) > 0;
+  if (existed) ++stats_slots_[host].removes;
   return existed;
 }
 
 const Bytes* DurableDisk::read(HostId host, const std::string& file) const {
-  auto it = files_.find({host, file});
-  return it != files_.end() ? &it->second : nullptr;
+  if (host >= files_.size()) return nullptr;
+  auto it = files_[host].find(file);
+  return it != files_[host].end() ? &it->second : nullptr;
 }
 
 bool DurableDisk::exists(HostId host, const std::string& file) const {
-  return files_.contains({host, file});
+  return host < files_.size() && files_[host].contains(file);
 }
 
 std::vector<std::string> DurableDisk::files(HostId host) const {
   std::vector<std::string> out;
-  for (auto it = files_.lower_bound({host, std::string{}});
-       it != files_.end() && it->first.first == host; ++it) {
-    out.push_back(it->first.second);
-  }
+  if (host >= files_.size()) return out;
+  for (const auto& [name, data] : files_[host]) out.push_back(name);
   return out;
 }
 
@@ -81,18 +88,32 @@ SimDuration DurableDisk::read_latency(std::size_t bytes) const {
 
 std::size_t DurableDisk::in_flight(HostId host) const {
   if (host != kNoHost) {
-    auto it = queues_.find(host);
-    return it != queues_.end() ? it->second.size() : 0;
+    return host < queues_.size() ? queues_[host].size() : 0;
   }
   std::size_t total = 0;
-  for (const auto& [h, q] : queues_) total += q.size();
+  for (const auto& q : queues_) total += q.size();
   return total;
 }
 
+const DiskStats& DurableDisk::stats() const {
+  stats_agg_ = {};
+  for (const DiskStats& s : stats_slots_) {
+    stats_agg_.writes += s.writes;
+    stats_agg_.appends += s.appends;
+    stats_agg_.bytes_written += s.bytes_written;
+    stats_agg_.removes += s.removes;
+    stats_agg_.crashed_ops += s.crashed_ops;
+    stats_agg_.torn_ops += s.torn_ops;
+    stats_agg_.ghost_ops += s.ghost_ops;
+    stats_agg_.lost_ops += s.lost_ops;
+  }
+  return stats_agg_;
+}
+
 void DurableDisk::schedule_completion(HostId host) {
-  auto it = queues_.find(host);
-  if (it == queues_.end() || it->second.empty()) return;
-  const Op& head = it->second.front();
+  auto& q = queues_[host];
+  if (q.empty()) return;
+  const Op& head = q.front();
   const double tx_us =
       params_.write_bytes_per_us > 0
           ? static_cast<double>(head.data.size()) / params_.write_bytes_per_us
@@ -102,22 +123,18 @@ void DurableDisk::schedule_completion(HostId host) {
 }
 
 void DurableDisk::complete_head(HostId host) {
-  auto it = queues_.find(host);
-  if (it == queues_.end() || it->second.empty()) return;
-  Op op = std::move(it->second.front());
-  it->second.pop_front();
-  head_timer_.erase(host);
+  auto& q = queues_[host];
+  if (q.empty()) return;
+  Op op = std::move(q.front());
+  q.pop_front();
+  head_timer_[host] = kInvalidTask;
   apply(op, op.data.size());
   if (op.is_append) {
-    ++stats_.appends;
+    ++stats_slots_[host].appends;
   } else {
-    ++stats_.writes;
+    ++stats_slots_[host].writes;
   }
-  if (!it->second.empty()) {
-    schedule_completion(host);
-  } else {
-    queues_.erase(it);
-  }
+  if (!q.empty()) schedule_completion(host);
   // Run the callback last: it may enqueue follow-up ops (checkpoint →
   // truncate-WAL chains) that must land behind the already-queued tail.
   if (op.done) op.done(true);
@@ -125,29 +142,28 @@ void DurableDisk::complete_head(HostId host) {
 
 void DurableDisk::apply(const Op& op, std::size_t physical_bytes) {
   const std::size_t n = std::min(physical_bytes, op.data.size());
-  stats_.bytes_written += n;
+  stats_slots_[op.host].bytes_written += n;
   if (op.is_append) {
-    Bytes& f = files_[{op.host, op.file}];
+    Bytes& f = files_[op.host][op.file];
     f.insert(f.end(), op.data.begin(), op.data.begin() + static_cast<std::ptrdiff_t>(n));
     return;
   }
   // Full-file write: atomic replace on fsync, torn prefix on crash.
-  files_[{op.host, op.file}] = Bytes(op.data.begin(),
-                                     op.data.begin() + static_cast<std::ptrdiff_t>(n));
+  files_[op.host][op.file] = Bytes(op.data.begin(),
+                                   op.data.begin() + static_cast<std::ptrdiff_t>(n));
 }
 
 void DurableDisk::on_host_transition(HostId host, bool up) {
   if (up) return;  // Rejoin: durable files are exactly what recovery reads.
-  auto it = queues_.find(host);
-  if (it == queues_.end()) return;
-  auto timer = head_timer_.find(host);
-  if (timer != head_timer_.end()) {
-    net_.scheduler().cancel(timer->second);
-    head_timer_.erase(timer);
+  if (host >= queues_.size() || queues_[host].empty()) return;
+  if (head_timer_[host] != kInvalidTask) {
+    net_.scheduler().cancel(head_timer_[host]);
+    head_timer_[host] = kInvalidTask;
   }
-  std::deque<Op> pending = std::move(it->second);
-  queues_.erase(it);
-  stats_.crashed_ops += pending.size();
+  std::deque<Op> pending = std::move(queues_[host]);
+  queues_[host].clear();
+  DiskStats& st = stats_slots_[host];
+  st.crashed_ops += pending.size();
   bool head = true;
   for (const Op& op : pending) {
     if (head && !op.data.empty()) {
@@ -160,16 +176,16 @@ void DurableDisk::on_host_transition(HostId host, bool up) {
         // A torn write lands a *strict* prefix — landing completely
         // would be a ghost, and a 1-byte op can only ghost or vanish
         // (it falls through to the ghost draw below).
-        ++stats_.torn_ops;
+        ++st.torn_ops;
         apply(op, 1 + rng_.below(op.data.size() - 1));
       } else if (u < params_.torn_write_prob + params_.ghost_write_prob) {
-        ++stats_.ghost_ops;
+        ++st.ghost_ops;
         apply(op, op.data.size());
       } else {
-        ++stats_.lost_ops;
+        ++st.lost_ops;
       }
     } else {
-      ++stats_.lost_ops;
+      ++st.lost_ops;
     }
     head = false;
   }

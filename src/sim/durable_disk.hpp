@@ -116,7 +116,8 @@ class DurableDisk {
   /// Operations not yet durable for `host` (all hosts when kNoHost).
   std::size_t in_flight(HostId host = kNoHost) const;
 
-  const DiskStats& stats() const { return stats_; }
+  /// Aggregated over per-host slots; call from root context only.
+  const DiskStats& stats() const;
 
  private:
   struct Op {
@@ -139,13 +140,18 @@ class DurableDisk {
   DiskParams params_;
   Rng rng_;
   std::uint64_t watcher_id_ = 0;
-  std::uint64_t next_op_ = 1;
-  // host -> FIFO of in-flight ops; front is on the platter now.
-  std::map<HostId, std::deque<Op>> queues_;
+  // All containers below are pre-sized per host: a host's disk is only
+  // touched from that host's events (or a global sync point — crash
+  // resolution, checkpoint timers), so shards never contend and no
+  // structural mutation of a shared map happens on the hot path.
+  std::vector<std::uint64_t> next_op_;
+  // Per-host FIFO of in-flight ops; front is on the platter now.
+  std::vector<std::deque<Op>> queues_;
   // Completion timer of each host's head op.
-  std::map<HostId, TaskId> head_timer_;
-  std::map<std::pair<HostId, std::string>, Bytes> files_;
-  DiskStats stats_;
+  std::vector<TaskId> head_timer_;
+  std::vector<std::map<std::string, Bytes>> files_;
+  std::vector<DiskStats> stats_slots_;
+  mutable DiskStats stats_agg_;
 };
 
 // --- Crash-consistent ping-pong checkpoints ------------------------------

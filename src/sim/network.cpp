@@ -9,31 +9,62 @@ Network::Network(Scheduler& sched, std::shared_ptr<const Topology> topo,
     : sched_(sched),
       topo_(std::move(topo)),
       bandwidth_bytes_per_us_(bandwidth_bytes_per_us),
+      link_clear_(topo_->size()),
       up_(topo_->size(), true),
       incarnation_(topo_->size(), 0),
-      delivered_per_host_(topo_->size(), 0) {}
+      delivered_per_host_(topo_->size(), 0),
+      handlers_(topo_->size()),
+      stats_slots_(topo_->size() + 1) {
+  sched_.bind_hosts(static_cast<std::uint32_t>(topo_->size()));
+  reseed_fault_rngs(default_faults_.seed);
+}
+
+void Network::set_threads(unsigned threads) {
+  const auto hosts = static_cast<std::uint32_t>(topo_->size());
+  const std::uint32_t shards =
+      tracer_ != nullptr ? 1 : std::min<std::uint32_t>(threads, hosts);
+  if (shards <= 1) {
+    sched_.set_parallel(1, {}, 1);
+    return;
+  }
+  // Contiguous blocks: hosts allocated together (e.g. one region, one
+  // broker subtree) tend to talk to each other, so block assignment
+  // keeps most traffic shard-local.
+  std::vector<std::uint32_t> map(hosts);
+  for (std::uint32_t h = 0; h < hosts; ++h) {
+    map[h] = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(h) * shards / hosts);
+  }
+  sched_.set_parallel(shards, std::move(map), topo_->min_remote_latency());
+}
 
 void Network::register_handler(HostId host, const std::string& protocol, Handler handler) {
-  auto& slots = handlers_[protocol];
-  if (slots.size() < topo_->size()) slots.resize(topo_->size());
-  slots[host] = std::move(handler);
+  if (host >= handlers_.size()) return;
+  handlers_[host][protocol] = std::move(handler);
 }
 
 void Network::unregister_handler(HostId host, const std::string& protocol) {
-  auto it = handlers_.find(protocol);
-  if (it == handlers_.end()) return;
-  if (host < it->second.size()) it->second[host] = nullptr;
+  if (host < handlers_.size()) handlers_[host].erase(protocol);
 }
 
 void Network::clear_handlers(HostId host) {
-  for (auto& [proto, slots] : handlers_) {
-    if (host < slots.size()) slots[host] = nullptr;
+  if (host < handlers_.size()) handlers_[host].clear();
+}
+
+void Network::reseed_fault_rngs(std::uint64_t seed) {
+  fault_rng_.clear();
+  fault_rng_.reserve(topo_->size());
+  for (HostId h = 0; h < topo_->size(); ++h) {
+    // Distinct stream per source host (splitmix in Rng's constructor
+    // decorrelates consecutive seeds); a source's draw sequence is then
+    // a function of its own send history alone.
+    fault_rng_.emplace_back(seed ^ (0x9E3779B97F4A7C15ULL * (h + 1)));
   }
 }
 
 void Network::set_link_faults(const LinkFaults& faults) {
   default_faults_ = faults;
-  fault_rng_ = Rng(faults.seed);
+  reseed_fault_rngs(faults.seed);
 }
 
 void Network::set_link_faults(HostId a, HostId b, const LinkFaults& faults) {
@@ -82,6 +113,10 @@ bool Network::partitioned(HostId a, HostId b) const {
 void Network::enable_tracing(std::uint64_t sample_every) {
   if (tracer_ == nullptr) tracer_ = std::make_unique<obs::TraceCollector>();
   tracer_->set_sample_every(sample_every);
+  // The ambient trace context is process-global state; tracing therefore
+  // runs sequentially (a traced run executes the identical event
+  // sequence either way, so digests are unaffected).
+  if (sched_.shards() > 1) sched_.set_parallel(1, {}, 1);
 }
 
 void Network::disable_tracing() {
@@ -104,7 +139,7 @@ void Network::send(Packet packet) {
   // reaches the wire: count it only as a drop, or bytes-per-delivery
   // metrics inflate under churn.
   if (packet.src >= up_.size() || packet.dst >= up_.size() || !up_[packet.src]) {
-    ++stats_.messages_dropped;
+    ++stats_slot().messages_dropped;
     return;
   }
   if (tracer_ != nullptr) {
@@ -118,17 +153,21 @@ void Network::send(Packet packet) {
       packet.trace.parent_span = wire;
     }
   }
-  ++stats_.messages_sent;
-  stats_.bytes_sent += packet.wire_size;
+  ++stats_slot().messages_sent;
+  stats_slot().bytes_sent += packet.wire_size;
   const bool loopback = packet.src == packet.dst;
   if (!loopback && partitioned(packet.src, packet.dst)) {
-    ++stats_.dropped_by_fault;
+    ++stats_slot().dropped_by_fault;
     end_wire_span(packet, "dropped:partition");
     return;
   }
+  // The source's own fault stream: send() executes on the source host's
+  // shard (or at a global sync point), so the stream is single-owner and
+  // its draw sequence is independent of other senders' interleaving.
+  Rng& frng = fault_rng_[packet.src];
   const LinkFaults* faults = loopback ? nullptr : faults_for(packet.src, packet.dst);
-  if (faults != nullptr && faults->drop > 0 && fault_rng_.chance(faults->drop)) {
-    ++stats_.dropped_by_fault;
+  if (faults != nullptr && faults->drop > 0 && frng.chance(faults->drop)) {
+    ++stats_slot().dropped_by_fault;
     end_wire_span(packet, "dropped:fault");
     return;
   }
@@ -138,53 +177,73 @@ void Network::send(Packet packet) {
   auto jitter_draw = [&]() -> SimDuration {
     if (faults == nullptr || faults->jitter <= 0) return 0;
     return static_cast<SimDuration>(
-        fault_rng_.below(static_cast<std::uint64_t>(faults->jitter) + 1));
+        frng.below(static_cast<std::uint64_t>(faults->jitter) + 1));
   };
   SimTime arrival;
-  if (faults != nullptr && faults->reorder > 0 && fault_rng_.chance(faults->reorder)) {
+  if (faults != nullptr && faults->reorder > 0 && frng.chance(faults->reorder)) {
     // Reordered: bypass the link FIFO entirely and take extra jitter,
     // so this packet can overtake (or be overtaken by) its neighbours.
     arrival = sched_.now() + latency + tx + jitter_draw();
   } else {
     // FIFO per link: arrival is after both this message's propagation +
     // transmission and every earlier message on the same (src,dst) link.
-    SimTime& clear_at = link_clear_at_[{packet.src, packet.dst}];
+    SimTime& clear_at = link_clear_[packet.src][packet.dst];
     arrival = std::max(sched_.now() + latency, clear_at) + tx;
     clear_at = arrival;
   }
   const std::uint32_t incarnation = incarnation_[packet.dst];
-  if (faults != nullptr && faults->duplicate > 0 && fault_rng_.chance(faults->duplicate)) {
-    ++stats_.duplicated;
+  const HostId dst = packet.dst;
+  if (faults != nullptr && faults->duplicate > 0 && frng.chance(faults->duplicate)) {
+    ++stats_slot().duplicated;
     Packet copy = packet;
-    sched_.at(arrival + 1 + jitter_draw(),
-              [this, p = std::move(copy), incarnation]() { deliver(p, incarnation); });
+    sched_.post_to_host(dst, arrival + 1 + jitter_draw(),
+                        [this, p = std::move(copy), incarnation]() { deliver(p, incarnation); });
   }
-  sched_.at(arrival, [this, p = std::move(packet), incarnation]() { deliver(p, incarnation); });
+  // Delivery runs on the destination host's shard; the arrival is at
+  // least min_remote_latency away for cross-host traffic, which is what
+  // lets the parallel scheduler run shards concurrently inside an epoch.
+  sched_.post_to_host(
+      dst, arrival, [this, p = std::move(packet), incarnation]() { deliver(p, incarnation); });
 }
 
 void Network::deliver(const Packet& packet, std::uint32_t incarnation) {
   if (!up_[packet.dst] || incarnation_[packet.dst] != incarnation) {
     // Down, or it crashed after the packet was sent: the reincarnated
     // host is a fresh endpoint and must not receive stale traffic.
-    ++stats_.messages_dropped;
+    ++stats_slot().messages_dropped;
     end_wire_span(packet, "dropped:dead-host");
     return;
   }
-  auto it = handlers_.find(packet.protocol);
-  if (it == handlers_.end() || packet.dst >= it->second.size() || !it->second[packet.dst]) {
-    ++stats_.messages_dropped;
+  auto& table = handlers_[packet.dst];
+  auto it = table.find(packet.protocol);
+  if (it == table.end() || !it->second) {
+    ++stats_slot().messages_dropped;
     end_wire_span(packet, "dropped:no-handler");
     return;
   }
-  ++stats_.messages_delivered;
+  ++stats_slot().messages_delivered;
   ++delivered_per_host_[packet.dst];
   // First arrival closes the wire span (idempotent, so a fault-model
   // duplicate of the same packet cannot stretch it); the handler then
   // runs with the packet's context ambient so its spans and sends nest
-  // under this hop.
+  // under this hop.  TraceScope is a no-op while tracing is off.
   end_wire_span(packet, nullptr);
-  TraceScope scope(*this, tracer_ != nullptr ? packet.trace : obs::TraceContext{});
-  it->second[packet.dst](packet);
+  TraceScope scope(*this, packet.trace);
+  it->second(packet);
+}
+
+const NetworkStats& Network::stats() const {
+  stats_agg_ = {};
+  for (const NetworkStats& s : stats_slots_) {
+    stats_agg_.messages_sent += s.messages_sent;
+    stats_agg_.messages_delivered += s.messages_delivered;
+    stats_agg_.messages_dropped += s.messages_dropped;
+    stats_agg_.bytes_sent += s.bytes_sent;
+    stats_agg_.duplicated += s.duplicated;
+    stats_agg_.retransmits += s.retransmits;
+    stats_agg_.dropped_by_fault += s.dropped_by_fault;
+  }
+  return stats_agg_;
 }
 
 void Network::set_host_up(HostId host, bool up) {

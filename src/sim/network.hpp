@@ -11,9 +11,12 @@
 // duplication, reordering (a reordered packet bypasses the link FIFO
 // and takes extra latency jitter, so it can overtake later traffic) —
 // and named bidirectional partitions cut whole host groups off from
-// each other until healed.  All fault decisions draw from one seeded
-// Rng, so a (workload seed, fault seed) pair reproduces a run exactly.
-// The ack/retry layer that survives these faults is sim/reliable.hpp.
+// each other until healed.  Fault decisions draw from per-source-host
+// Rng streams forked from one seed, so a (workload seed, fault seed)
+// pair reproduces a run exactly — independent of how many scheduler
+// shards execute it (a shared stream's draw order would depend on the
+// interleaving of unrelated senders).  The ack/retry layer that
+// survives these faults is sim/reliable.hpp.
 //
 // Packet bodies travel as std::any carrying protocol-specific structs;
 // `wire_size` declares the number of bytes charged to the network, so
@@ -102,6 +105,17 @@ class Network {
   const Topology& topology() const { return *topo_; }
   std::size_t host_count() const { return topo_->size(); }
 
+  /// Partitions hosts into min(threads, hosts) scheduler shards, each
+  /// driven by its own thread, with lookahead =
+  /// topology().min_remote_latency() (see scheduler.hpp for the
+  /// conservative-sync argument).  Delivery digests and counters are
+  /// bit-identical to sequential runs.  Pass 1 to go back to
+  /// sequential.  Tracing forces sequential mode: the ambient trace
+  /// context is process-global, so set_threads is a no-op (stays at 1)
+  /// while tracing is enabled, and enable_tracing drops back to 1.
+  void set_threads(unsigned threads);
+  unsigned threads() const { return sched_.shards(); }
+
   using Handler = std::function<void(const Packet&)>;
 
   /// Registers the receive handler for (host, protocol).  Replaces any
@@ -163,7 +177,7 @@ class Network {
 
   /// Reliable transports report each retransmission here so benches can
   /// show retry overhead next to the raw traffic counters.
-  void note_retransmit() { ++stats_.retransmits; }
+  void note_retransmit() { ++stats_slot().retransmits; }
 
   // --- Causal tracing (obs/trace.hpp) ---
   //
@@ -202,16 +216,26 @@ class Network {
   /// open a TraceScope when the closure runs.
   class TraceScope {
    public:
+    /// A no-op while tracing is off: the ambient context is then always
+    /// inactive anyway, and not touching it keeps the delivery path free
+    /// of shared writes in parallel mode (tracing itself forces
+    /// sequential execution).
     TraceScope(Network& net, const obs::TraceContext& ctx)
-        : net_(net), saved_(net.current_trace_) {
-      net_.current_trace_ = ctx;
+        : net_(net), engaged_(net.tracer_ != nullptr) {
+      if (engaged_) {
+        saved_ = net_.current_trace_;
+        net_.current_trace_ = ctx;
+      }
     }
-    ~TraceScope() { net_.current_trace_ = saved_; }
+    ~TraceScope() {
+      if (engaged_) net_.current_trace_ = saved_;
+    }
     TraceScope(const TraceScope&) = delete;
     TraceScope& operator=(const TraceScope&) = delete;
 
    private:
     Network& net_;
+    bool engaged_;
     obs::TraceContext saved_;
   };
 
@@ -221,15 +245,20 @@ class Network {
   /// A no-op (span id 0) when tracing is off or no trace is ambient.
   class SpanScope {
    public:
+    /// Like TraceScope, a strict no-op (no ambient-context writes) while
+    /// tracing is off.
     SpanScope(Network& net, HostId host, std::string component, std::string action)
-        : net_(net), saved_(net.current_trace_) {
-      if (net_.tracer_ != nullptr && saved_.active()) {
+        : net_(net), engaged_(net.tracer_ != nullptr) {
+      if (!engaged_) return;
+      saved_ = net_.current_trace_;
+      if (saved_.active()) {
         span_ = net_.tracer_->begin(saved_, host, std::move(component),
                                     std::move(action), net_.sched_.now());
         net_.current_trace_ = obs::TraceContext{saved_.trace_id, span_};
       }
     }
     ~SpanScope() {
+      if (!engaged_) return;
       if (span_ != 0) net_.tracer_->end(span_, net_.sched_.now());
       net_.current_trace_ = saved_;
     }
@@ -244,6 +273,7 @@ class Network {
 
    private:
     Network& net_;
+    bool engaged_;
     obs::TraceContext saved_;
     std::uint64_t span_ = 0;
   };
@@ -270,8 +300,15 @@ class Network {
   std::uint64_t add_host_watcher(HostWatcher watcher);
   void remove_host_watcher(std::uint64_t id);
 
-  const NetworkStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = {}; }
+  /// Aggregated counters.  Counts are attributed to per-host slots at
+  /// increment time (so shards never contend) and summed here; the
+  /// per-slot values — and hence the aggregate — are identical across
+  /// shard counts.  Call from root context only (not from inside a
+  /// hosted event while other shards run).
+  const NetworkStats& stats() const;
+  void reset_stats() {
+    for (NetworkStats& s : stats_slots_) s = {};
+  }
 
   /// Per-host delivered-message counts (for load-balance metrics).
   std::uint64_t delivered_to(HostId host) const;
@@ -282,24 +319,35 @@ class Network {
   const LinkFaults* faults_for(HostId src, HostId dst) const;
   /// Closes the packet's wire span (note != nullptr annotates first).
   void end_wire_span(const Packet& packet, const char* note);
+  void reseed_fault_rngs(std::uint64_t seed);
+  /// Counter slot of the executing host (last slot for root context):
+  /// each shard only ever writes its own hosts' slots.
+  NetworkStats& stats_slot() {
+    const std::uint32_t h = sched_.current_host();
+    return stats_slots_[h < topo_->size() ? h : topo_->size()];
+  }
 
   Scheduler& sched_;
   std::shared_ptr<const Topology> topo_;
   double bandwidth_bytes_per_us_;
-  // Per-(src,dst) link FIFO: the arrival time of the last message sent
-  // on the link.  Later sends arrive no earlier, so a small message can
+  // Per-source link FIFOs: the arrival time of the last message sent on
+  // (src, dst).  Later sends arrive no earlier, so a small message can
   // never overtake a large one on the same link (TCP-like ordering).
-  std::map<std::pair<HostId, HostId>, SimTime> link_clear_at_;
+  // Indexed by src because send() always executes on the source host's
+  // shard (or at a global sync point).
+  std::vector<std::map<HostId, SimTime>> link_clear_;
   std::vector<bool> up_;
   // Bumped each time a host goes down: packets capture the destination
   // incarnation at send time, so traffic in flight to a host that
   // crashes is lost even if the host rejoins before the delivery time.
   std::vector<std::uint32_t> incarnation_;
   std::vector<std::uint64_t> delivered_per_host_;
-  std::unordered_map<std::string, std::vector<Handler>> handlers_;  // protocol -> per-host
+  // Per-host protocol tables: a host (un)registers only its own slot, so
+  // handler churn on one shard cannot invalidate another's lookups.
+  std::vector<std::unordered_map<std::string, Handler>> handlers_;
   LinkFaults default_faults_{};  // zero probabilities: clean network
   std::map<std::pair<HostId, HostId>, LinkFaults> link_fault_overrides_;
-  Rng fault_rng_{0x5EED};
+  std::vector<Rng> fault_rng_;  // per source host
   struct Partition {
     std::string name;
     std::unordered_set<HostId> a;
@@ -308,7 +356,10 @@ class Network {
   std::vector<Partition> partitions_;
   std::vector<std::pair<std::uint64_t, HostWatcher>> host_watchers_;
   std::uint64_t next_watcher_id_ = 1;
-  NetworkStats stats_;
+  // Per-host counter slots plus one root slot; stats() sums into the
+  // cache below so the accessor can keep returning a reference.
+  std::vector<NetworkStats> stats_slots_;
+  mutable NetworkStats stats_agg_;
   std::unique_ptr<obs::TraceCollector> tracer_;  // null = tracing off
   obs::TraceContext current_trace_{};
 };

@@ -9,11 +9,14 @@ ReliableTransport::ReliableTransport(Network& net, std::string protocol, Reliabl
       protocol_(std::move(protocol)),
       params_(params),
       handlers_(net.host_count()),
-      net_registered_(net.host_count(), 0) {}
+      net_registered_(net.host_count(), 0),
+      hosts_(net.host_count()) {}
 
 ReliableTransport::~ReliableTransport() {
-  for (auto& [seq, pending] : pending_) {
-    if (pending.timer != kInvalidTask) net_.scheduler().cancel(pending.timer);
+  for (HostState& hs : hosts_) {
+    for (auto& [seq, pending] : hs.pending) {
+      if (pending.timer != kInvalidTask) net_.scheduler().cancel(pending.timer);
+    }
   }
   for (HostId h = 0; h < net_registered_.size(); ++h) {
     if (net_registered_[h]) net_.unregister_handler(h, protocol_);
@@ -47,18 +50,20 @@ void ReliableTransport::send(Packet packet) {
   if (net_.tracing_enabled() && !packet.trace.active()) {
     packet.trace = net_.current_trace();
   }
-  const std::uint64_t seq = next_seq_++;
+  HostState& hs = hosts_[packet.src];
+  const std::uint64_t seq =
+      ((static_cast<std::uint64_t>(packet.src) + 1) << 40) | hs.next_seq++;
   Pending pending;
   pending.dst_incarnation = net_.incarnation(packet.dst);
   pending.packet = std::move(packet);
   pending.rto = params_.initial_rto;
-  pending_.emplace(seq, std::move(pending));
-  ++stats_.data_sent;
+  hs.pending.emplace(seq, std::move(pending));
+  ++hs.stats.data_sent;
   transmit(seq);
 }
 
 void ReliableTransport::transmit(std::uint64_t seq) {
-  Pending& pending = pending_.at(seq);
+  Pending& pending = hosts_[seq_source(seq)].pending.at(seq);
   const Packet& p = pending.packet;
   net_.send(Packet{p.src, p.dst, protocol_, std::any(DataMsg{seq, p.body, p.wire_size}),
                    p.wire_size + kHeaderBytes, p.trace});
@@ -66,22 +71,23 @@ void ReliableTransport::transmit(std::uint64_t seq) {
 }
 
 void ReliableTransport::on_timeout(std::uint64_t seq) {
-  auto it = pending_.find(seq);
-  if (it == pending_.end()) return;
+  HostState& hs = hosts_[seq_source(seq)];
+  auto it = hs.pending.find(seq);
+  if (it == hs.pending.end()) return;
   Pending& pending = it->second;
   pending.timer = kInvalidTask;
   const bool peer_reincarnated =
       net_.incarnation(pending.packet.dst) != pending.dst_incarnation;
   if (peer_reincarnated || pending.retries >= params_.max_retries) {
-    if (peer_reincarnated) ++stats_.incarnation_give_ups;
-    ++stats_.give_ups;
+    if (peer_reincarnated) ++hs.stats.incarnation_give_ups;
+    ++hs.stats.give_ups;
     Packet original = std::move(pending.packet);
-    pending_.erase(it);
+    hs.pending.erase(it);
     if (give_up_) give_up_(original);
     return;
   }
   ++pending.retries;
-  ++stats_.retransmits;
+  ++hs.stats.retransmits;
   net_.note_retransmit();
   if (auto* tracer = net_.tracer(); tracer != nullptr && pending.packet.trace.active()) {
     // Instant span marking the retry; the fresh wire span for the copy
@@ -100,12 +106,13 @@ void ReliableTransport::on_timeout(std::uint64_t seq) {
 }
 
 void ReliableTransport::on_network(HostId host, const Packet& packet) {
+  HostState& hs = hosts_[host];
   if (const auto* data = packet_body<DataMsg>(packet)) {
     // Ack every receipt — a duplicate usually means our previous ack
     // was lost, and only a fresh ack stops the sender's retry clock.
     net_.send(host, packet.src, protocol_, AckMsg{data->seq}, kHeaderBytes);
-    if (!delivered_.insert(data->seq).second) {
-      ++stats_.duplicates_suppressed;
+    if (!hs.delivered.insert(data->seq).second) {
+      ++hs.stats.duplicates_suppressed;
       return;
     }
     if (host < handlers_.size() && handlers_[host]) {
@@ -116,12 +123,33 @@ void ReliableTransport::on_network(HostId host, const Packet& packet) {
           Packet{packet.src, host, protocol_, data->body, data->body_wire, packet.trace});
     }
   } else if (const auto* ack = packet_body<AckMsg>(packet)) {
-    auto it = pending_.find(ack->seq);
-    if (it == pending_.end()) return;  // stale ack for a retransmitted copy
+    // The ack arrives back at the original sender, so this host's own
+    // pending table holds the entry.
+    auto it = hs.pending.find(ack->seq);
+    if (it == hs.pending.end()) return;  // stale ack for a retransmitted copy
     if (it->second.timer != kInvalidTask) net_.scheduler().cancel(it->second.timer);
-    pending_.erase(it);
-    ++stats_.acked;
+    hs.pending.erase(it);
+    ++hs.stats.acked;
   }
+}
+
+const ReliableStats& ReliableTransport::stats() const {
+  stats_agg_ = {};
+  for (const HostState& hs : hosts_) {
+    stats_agg_.data_sent += hs.stats.data_sent;
+    stats_agg_.acked += hs.stats.acked;
+    stats_agg_.retransmits += hs.stats.retransmits;
+    stats_agg_.duplicates_suppressed += hs.stats.duplicates_suppressed;
+    stats_agg_.give_ups += hs.stats.give_ups;
+    stats_agg_.incarnation_give_ups += hs.stats.incarnation_give_ups;
+  }
+  return stats_agg_;
+}
+
+std::size_t ReliableTransport::in_flight() const {
+  std::size_t total = 0;
+  for (const HostState& hs : hosts_) total += hs.pending.size();
+  return total;
 }
 
 }  // namespace aa::sim

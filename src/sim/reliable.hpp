@@ -91,9 +91,11 @@ class ReliableTransport {
     send(Packet{src, dst, protocol_, std::any(std::move(body)), wire_size});
   }
 
-  const ReliableStats& stats() const { return stats_; }
+  /// Aggregated over per-host slots (see Network::stats for the
+  /// attribution scheme); call from root context only.
+  const ReliableStats& stats() const;
   /// Sends awaiting an ack (retransmission timers pending).
-  std::size_t in_flight() const { return pending_.size(); }
+  std::size_t in_flight() const;
 
  private:
   /// Header bytes charged on top of the payload (seq + flags), and the
@@ -118,6 +120,24 @@ class ReliableTransport {
     std::uint32_t dst_incarnation = 0;
   };
 
+  /// Per-host transport state.  A slot is only touched by its own
+  /// host's events (sends and ack receipts happen at the sender; data
+  /// receipts at the receiver), so shards never contend and counters
+  /// are identical across shard counts.
+  struct HostState {
+    std::unordered_map<std::uint64_t, Pending> pending;
+    // Receiver-side dedup.  Sequence numbers carry their source host in
+    // the top bits, so every sender's streams stay disjoint within one
+    // receiver's set.
+    std::unordered_set<std::uint64_t> delivered;
+    std::uint64_t next_seq = 1;
+    ReliableStats stats;
+  };
+
+  /// Sequence numbers are (src + 1) << 40 | per-source counter:
+  /// globally unique without a shared counter.
+  static std::uint64_t seq_source(std::uint64_t seq) { return (seq >> 40) - 1; }
+
   /// Lazily registers this transport's network handler for `host` (both
   /// receivers and senders need one — acks come back to the sender).
   void ensure_net_handler(HostId host);
@@ -131,12 +151,8 @@ class ReliableTransport {
   GiveUp give_up_;
   std::vector<Network::Handler> handlers_;  // per host
   std::vector<char> net_registered_;        // per host
-  std::unordered_map<std::uint64_t, Pending> pending_;
-  // Sequence numbers are globally unique per transport and each targets
-  // exactly one destination, so one set dedups every receiver.
-  std::unordered_set<std::uint64_t> delivered_;
-  std::uint64_t next_seq_ = 1;
-  ReliableStats stats_;
+  std::vector<HostState> hosts_;
+  mutable ReliableStats stats_agg_;
 };
 
 }  // namespace aa::sim

@@ -18,6 +18,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "common/hash.hpp"
@@ -65,25 +66,44 @@ struct ScenarioResult {
   std::uint64_t deliver_spans = 0;  // only populated when tracing is on
   std::uint64_t bytes_sent = 0;     // post-quiesce traffic (publish phase)
   std::uint64_t messages_sent = 0;
+  sim::NetworkStats net_stats;      // full counters (publish phase)
+  pubsub::BrokerStats broker;       // summed over all brokers
 };
+
+// Field-wise comparable projections; keep in sync with the structs.
+auto net_stats_key(const sim::NetworkStats& s) {
+  return std::tuple(s.messages_sent, s.messages_delivered, s.messages_dropped,
+                    s.bytes_sent, s.duplicated, s.retransmits, s.dropped_by_fault);
+}
+auto broker_stats_key(const pubsub::BrokerStats& s) {
+  return std::tuple(s.publications_routed, s.deliveries, s.subscriptions_forwarded,
+                    s.subscriptions_suppressed, s.match_tests, s.index_probes,
+                    s.checkpoints, s.checkpoint_bytes, s.recoveries,
+                    s.recovered_entries, s.sync_requests, s.sync_replies,
+                    s.sync_retries, s.sync_give_ups);
+}
 
 // One full pub/sub run.  `mutate` (optional) is invoked right after the
 // subscription tables quiesce, with the network and scheduler — chaos
 // scenarios install faults and schedule partition cuts/heals there.
+// `threads` > 1 runs the publish phase on the sharded scheduler.
 ScenarioResult run_scenario(bool reliable,
                             std::function<void(sim::Network&, sim::Scheduler&)> mutate,
-                            bool tracing = false) {
+                            bool tracing = false, unsigned threads = 1) {
   ScenarioResult result;
   sim::Scheduler sched;
   auto topo = std::make_shared<sim::UniformTopology>(kHosts, duration::millis(5));
   sim::Network net(sched, topo);
   if (tracing) net.enable_tracing();
+  if (threads > 1) net.set_threads(threads);
   SienaNetwork ps(net, {0, 1, 2, 3, 4, 5, 6, 7});
   ps.connect_tree(2);  // edges: 0-1, 0-2, 1-3, 1-4, 2-5, 2-6, 3-7
   if (reliable) ps.enable_reliable_transport(chaos_reliable_params());
 
   Digest& digest = result.digest;
   for (sim::HostId h = 0; h < kHosts; ++h) {
+    digest[h];  // create the node now: handlers on shard threads may only
+                // append to their own vector, never grow the shared tree
     ps.attach_client(h, h);  // co-located: client hops are loopback
     ps.subscribe(h, Filter().where("type", Op::kEq, "t" + std::to_string(h % 4)),
                  [&digest, h](const Event& e) {
@@ -115,10 +135,12 @@ ScenarioResult run_scenario(bool reliable,
   if (ps.reliable_transport() != nullptr) {
     result.give_ups = ps.reliable_transport()->stats().give_ups;
   }
-  result.retransmits = net.stats().retransmits;
-  result.dropped_by_fault = net.stats().dropped_by_fault;
-  result.bytes_sent = net.stats().bytes_sent;
-  result.messages_sent = net.stats().messages_sent;
+  result.net_stats = net.stats();
+  result.broker = ps.total_broker_stats();
+  result.retransmits = result.net_stats.retransmits;
+  result.dropped_by_fault = result.net_stats.dropped_by_fault;
+  result.bytes_sent = result.net_stats.bytes_sent;
+  result.messages_sent = result.net_stats.messages_sent;
   if (const obs::TraceCollector* tc = net.tracer()) {
     for (const obs::Span& s : tc->spans()) {
       if (s.action == "deliver") ++result.deliver_spans;
@@ -460,11 +482,13 @@ struct BrokerCrashResult {
 // victim.  `crash_at` == 0 runs the fault-free oracle.
 BrokerCrashResult run_broker_crash_scenario(SimDuration crash_at, SimDuration revive_at,
                                             std::uint64_t seed,
-                                            bool checkpoints_before_transport = false) {
+                                            bool checkpoints_before_transport = false,
+                                            unsigned threads = 1) {
   BrokerCrashResult result;
   sim::Scheduler sched;
   auto topo = std::make_shared<sim::UniformTopology>(9, duration::millis(5));
   sim::Network net(sched, topo);
+  if (threads > 1) net.set_threads(threads);
   SienaNetwork ps(net, {0, 1, 2});
   (void)ps.connect(0, 1);
   (void)ps.connect(1, 2);
@@ -486,6 +510,7 @@ BrokerCrashResult run_broker_crash_scenario(SimDuration crash_at, SimDuration re
 
   Digest& digest = result.digest;
   for (sim::HostId h = 3; h <= 8; ++h) {
+    digest[h];  // pre-create: shard-thread handlers must not grow the tree
     ps.attach_client(h, h <= 5 ? 0 : 2);
     sched.after(duration::millis(3) * (h - 2), [&ps, &digest, h] {
       ps.subscribe(h, Filter().where("type", Op::kEq, "t" + std::to_string(h % 3)),
@@ -613,6 +638,58 @@ TEST(Chaos, BrokerCrashDuringSubscriptionPropagationConverges) {
     EXPECT_GE(crash.broker.recoveries, 1u);
     EXPECT_GE(crash.broker.checkpoints, 1u);
     EXPECT_EQ(crash.stalled_left, 0u);
+  }
+}
+
+// --- Sharded parallel execution ---
+
+TEST(Chaos, ParallelModeIsDeterministic) {
+  // The tentpole determinism pin: the full 21-seed chaos sweep — link
+  // faults, duplication, reordering, two partition windows, the reliable
+  // transport papering over all of it — must produce bit-identical
+  // delivery digests and metrics counters whether the scheduler runs
+  // one shard or many.  Sequential results double as the oracle.
+  for (std::uint64_t seed = 1; seed <= 21; ++seed) {
+    const auto scenario = [seed](sim::Network& net, sim::Scheduler& sched) {
+      install_chaos(seed, net, sched);
+    };
+    const ScenarioResult seq = run_scenario(/*reliable=*/true, scenario);
+    ASSERT_GT(seq.dropped_by_fault, 0u) << "seed " << seed;
+    for (unsigned threads : {2u, 4u}) {
+      const ScenarioResult par =
+          run_scenario(/*reliable=*/true, scenario, /*tracing=*/false, threads);
+      EXPECT_EQ(par.digest, seq.digest) << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(par.give_ups, seq.give_ups) << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(net_stats_key(par.net_stats), net_stats_key(seq.net_stats))
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(broker_stats_key(par.broker), broker_stats_key(seq.broker))
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+TEST(Chaos, ParallelBrokerCrashRecoveryMatchesSequential) {
+  // The PR 6 crash→recover→converge path under sharded execution: a
+  // broker dies mid-publish with checkpoints mid-flush, recovers from
+  // disk + peer sync, and the run's digest and broker counters are
+  // bit-identical to the sequential execution of the same seed.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const SimDuration crash_at = duration::millis(1002) + duration::micros(337);
+    const SimDuration revive_at = duration::millis(1352);
+    const BrokerCrashResult seq = run_broker_crash_scenario(crash_at, revive_at, seed);
+    ASSERT_GE(seq.broker.recoveries, 1u) << "seed " << seed;
+    for (unsigned threads : {2u, 4u}) {
+      const BrokerCrashResult par = run_broker_crash_scenario(
+          crash_at, revive_at, seed, /*checkpoints_before_transport=*/false, threads);
+      EXPECT_EQ(par.digest, seq.digest) << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(par.deliveries, seq.deliveries) << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(par.incarnation_give_ups, seq.incarnation_give_ups)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(par.stalled_left, seq.stalled_left)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(broker_stats_key(par.broker), broker_stats_key(seq.broker))
+          << "seed " << seed << " threads " << threads;
+    }
   }
 }
 

@@ -131,7 +131,249 @@ TEST(Scheduler, PastTimesClampToNow) {
   s.run();
 }
 
+TEST(Scheduler, PendingSurvivesCancellingAlreadyRanTask) {
+  // Regression: cancel() of a one-shot task that had already executed
+  // parked its id in the cancelled set forever, so pending() computed
+  // queue_size - cancelled_size and underflowed size_t once cancels
+  // outnumbered queued entries.
+  Scheduler s;
+  const TaskId a = s.after(10, [] {});
+  const TaskId b = s.after(20, [] {});
+  s.run();
+  s.cancel(a);  // already ran: must be a no-op
+  s.cancel(b);
+  EXPECT_EQ(s.pending(), 0u);
+  s.after(30, [] {});
+  EXPECT_EQ(s.pending(), 1u);  // underflowed to ~2^64 on the old code
+  s.run();
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, EveryClampsNonPositivePeriodToOneTick) {
+  // Regression: every(0) rescheduled at now + 0 forever, so run()
+  // livelocked at a frozen virtual time.  The period clamps to the 1us
+  // tick floor instead, mirroring after()'s negative-delay clamp.
+  Scheduler s;
+  int ticks = 0;
+  TaskId id = kInvalidTask;
+  id = s.every(0, [&] {
+    if (++ticks == 3) s.cancel(id);
+  });
+  s.run();
+  EXPECT_EQ(ticks, 3);
+  EXPECT_EQ(s.now(), 3);  // fired at t=1,2,3 — not pinned at t=0
+
+  int neg = 0;
+  TaskId nid = kInvalidTask;
+  nid = s.every(-50, [&] {
+    if (++neg == 2) s.cancel(nid);
+  });
+  s.run();
+  EXPECT_EQ(neg, 2);
+  EXPECT_EQ(s.now(), 5);  // clamped ticks at t=4,5
+}
+
+TEST(Scheduler, StepMovesClosureOutWithoutCopying) {
+  // Regression (perf): step() used to copy the whole queue entry —
+  // including the std::function and its captured state — out of
+  // queue_.top() for every executed event.  Execution must move the
+  // closure instead.
+  struct Probe {
+    std::shared_ptr<int> copies;
+    explicit Probe(std::shared_ptr<int> c) : copies(std::move(c)) {}
+    Probe(const Probe& other) : copies(other.copies) { ++*copies; }
+    Probe(Probe&&) noexcept = default;
+  };
+  Scheduler s;
+  auto copies = std::make_shared<int>(0);
+  bool ran = false;
+  s.after(10, [p = Probe(copies), &ran] { ran = true; (void)p; });
+  const int copies_after_scheduling = *copies;
+  while (s.step()) {
+  }
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(*copies, copies_after_scheduling);  // execution added none
+}
+
 // --- Topologies ---
+
+// --- Sharded parallel execution ---
+//
+// The determinism contract (DESIGN.md): the sharded scheduler executes
+// the exact same event sequence as the sequential one, so any digest of
+// the run — per-host logs, counters, final clock — must be bit-identical
+// across shard counts.
+
+namespace {
+
+// Hosts pass a token around the ring with cross-host hops exactly at
+// the lookahead (the tightest legal arrival) while also running local
+// sub-lookahead ticks, exercising both the epoch barrier and the
+// intra-shard fast path.
+struct ShardProbe {
+  Scheduler sched;
+  std::vector<std::vector<std::string>> logs{4};
+
+  void relay(std::uint32_t h, int hops) {
+    logs[h].push_back(std::to_string(sched.now()) + ">" + std::to_string(hops));
+    sched.after(1, [this, h, hops] {
+      logs[h].push_back(std::to_string(sched.now()) + "+t" + std::to_string(hops));
+    });
+    if (hops > 0) {
+      const std::uint32_t next = (h + 1) % 4;
+      sched.post_to_host(next, sched.now() + 5,
+                         [this, next, hops] { relay(next, hops - 1); });
+    }
+  }
+};
+
+struct ShardRun {
+  std::vector<std::string> log;
+  std::uint64_t executed = 0;
+  SimTime final_now = 0;
+};
+
+ShardRun sharded_ring_run(std::uint32_t shards) {
+  ShardProbe p;
+  p.sched.bind_hosts(4);
+  if (shards > 1) {
+    std::vector<std::uint32_t> map(4);
+    for (std::uint32_t h = 0; h < 4; ++h) map[h] = h % shards;
+    p.sched.set_parallel(shards, map, 5);
+  }
+  EXPECT_EQ(p.sched.shards(), shards);
+  for (std::uint32_t h = 0; h < 4; ++h) {
+    p.sched.post_to_host(h, 10 + h, [&p, h] { p.relay(h, 25); });
+  }
+  ShardRun r;
+  r.final_now = p.sched.run();
+  r.executed = p.sched.executed_events();
+  EXPECT_EQ(p.sched.pending(), 0u);
+  for (std::uint32_t h = 0; h < 4; ++h) {
+    for (const std::string& line : p.logs[h]) {
+      r.log.push_back("h" + std::to_string(h) + ":" + line);
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+TEST(Parallel, ShardedSchedulerMatchesSequentialBitForBit) {
+  const ShardRun seq = sharded_ring_run(1);
+  ASSERT_FALSE(seq.log.empty());
+  for (std::uint32_t shards : {2u, 4u}) {
+    const ShardRun par = sharded_ring_run(shards);
+    EXPECT_EQ(par.log, seq.log) << shards << " shards";
+    EXPECT_EQ(par.executed, seq.executed) << shards << " shards";
+    EXPECT_EQ(par.final_now, seq.final_now) << shards << " shards";
+  }
+}
+
+namespace {
+
+struct MeshRun {
+  std::vector<std::string> log;
+  NetworkStats stats;
+};
+
+// A faulty relay mesh: every delivery re-sends from the destination's
+// own event (so sends execute on many shards, drawing from per-source
+// fault streams), with drops, duplicates and reordering all active.
+MeshRun faulty_mesh_run(unsigned threads) {
+  Scheduler sched;
+  auto topo = std::make_shared<UniformTopology>(6, duration::millis(2));
+  Network net(sched, topo);
+  LinkFaults f;
+  f.drop = 0.15;
+  f.duplicate = 0.05;
+  f.reorder = 0.2;
+  f.jitter = duration::millis(1);
+  f.seed = 99;
+  net.set_link_faults(f);
+  net.set_threads(threads);
+  std::vector<std::vector<std::string>> logs(6);
+  for (HostId h = 0; h < 6; ++h) {
+    net.register_handler(h, "relay", [&net, &sched, &logs, h](const Packet& pk) {
+      const int ttl = *packet_body<int>(pk);
+      logs[h].push_back(std::to_string(sched.now()) + "<h" + std::to_string(pk.src) +
+                        ":" + std::to_string(ttl));
+      if (ttl > 0) net.send(h, (h + 2) % 6, "relay", ttl - 1, 64);
+    });
+  }
+  for (HostId h = 0; h < 6; ++h) {
+    sched.at(1 + h, [&net, h] { net.send(h, (h + 1) % 6, "relay", 20, 64); });
+  }
+  sched.run();
+  MeshRun r;
+  r.stats = net.stats();
+  for (HostId h = 0; h < 6; ++h) {
+    for (const std::string& line : logs[h]) {
+      r.log.push_back("h" + std::to_string(h) + ":" + line);
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+TEST(Parallel, ShardedNetworkDeliveriesAndStatsMatchSequential) {
+  const MeshRun seq = faulty_mesh_run(1);
+  ASSERT_FALSE(seq.log.empty());
+  ASSERT_GT(seq.stats.dropped_by_fault, 0u);  // the faults were live
+  for (unsigned threads : {2u, 3u, 6u}) {
+    const MeshRun par = faulty_mesh_run(threads);
+    EXPECT_EQ(par.log, seq.log) << threads << " threads";
+    EXPECT_EQ(par.stats.messages_sent, seq.stats.messages_sent) << threads;
+    EXPECT_EQ(par.stats.messages_delivered, seq.stats.messages_delivered) << threads;
+    EXPECT_EQ(par.stats.messages_dropped, seq.stats.messages_dropped) << threads;
+    EXPECT_EQ(par.stats.bytes_sent, seq.stats.bytes_sent) << threads;
+    EXPECT_EQ(par.stats.duplicated, seq.stats.duplicated) << threads;
+    EXPECT_EQ(par.stats.dropped_by_fault, seq.stats.dropped_by_fault) << threads;
+  }
+}
+
+TEST(Parallel, ModeSwitchPreservesPendingWork) {
+  // Tasks queued in one mode must survive repartitioning: switch to
+  // sharded mid-workload and back, and everything still runs once.
+  Scheduler sched;
+  sched.bind_hosts(4);
+  int ran = 0;
+  std::vector<std::uint32_t> map{0, 0, 1, 1};
+  for (std::uint32_t h = 0; h < 4; ++h) {
+    sched.post_to_host(h, 50, [&ran] { ++ran; });
+  }
+  const TaskId doomed = sched.after(60, [&ran] { ++ran; });
+  const TaskId tick = sched.every(25, [&ran] { ++ran; });
+  sched.cancel(doomed);
+  EXPECT_EQ(sched.pending(), 5u);  // 4 posts + tick; the cancelled one-shot is out
+  sched.set_parallel(2, map, 5);
+  EXPECT_EQ(sched.pending(), 5u);
+  sched.run_until(55);
+  EXPECT_EQ(ran, 6);  // 4 posts + 2 periodic firings; doomed never ran
+  sched.set_parallel(1, {}, 1);
+  sched.run_until(100);
+  EXPECT_EQ(ran, 8);  // periodic continued at 75, 100 across the switch
+  sched.cancel(tick);
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(Parallel, TracingForcesSequentialExecution) {
+  // The ambient trace context is process-global, so set_threads while
+  // tracing stays at one shard (and enabling tracing drops back to one).
+  Scheduler sched;
+  auto topo = std::make_shared<UniformTopology>(4, duration::millis(2));
+  Network net(sched, topo);
+  net.set_threads(4);
+  EXPECT_EQ(net.threads(), 4u);
+  net.enable_tracing();
+  EXPECT_EQ(net.threads(), 1u);
+  net.set_threads(4);
+  EXPECT_EQ(net.threads(), 1u);
+  net.disable_tracing();
+  net.set_threads(4);
+  EXPECT_EQ(net.threads(), 4u);
+}
 
 TEST(Topology, UniformLatency) {
   UniformTopology t(4, duration::millis(10));
