@@ -9,11 +9,58 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
+#include "event/event.hpp"
+#include "event/filter.hpp"
 #include "obs/trace.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
 
 namespace aa::bench {
+
+/// Zipf-skewed hotspot workload (the C1 scaling sweep and the
+/// shard-crash chaos scenario): `topics` ranked by popularity with
+/// exponent `s`, so the publish load concentrates on the head ranks
+/// while subscribers pin topics uniformly.  Each subscriber filter adds
+/// a value window on top of its topic pin, keeping edge-exact matching
+/// selective (an aggregated interior hull is strictly wider).
+class HotspotWorkload {
+ public:
+  HotspotWorkload(std::size_t topics, double exponent, std::uint64_t seed)
+      : topics_(topics), zipf_(topics, exponent), rng_(seed) {}
+
+  static std::string topic_name(std::size_t rank) { return "topic" + std::to_string(rank); }
+
+  /// The topic of the i-th subscriber (uniform over ranks).
+  std::string subscriber_topic(std::size_t i) const { return topic_name(i % topics_); }
+
+  /// The i-th subscriber's filter: topic pin + value window
+  /// [10*(i%5), 10*(i%5)+30] over published values in [0, 80).
+  event::Filter subscriber_filter(std::size_t i) const {
+    const double lo = static_cast<double>(i % 5) * 10.0;
+    event::Filter f;
+    f.where("topic", event::Op::kEq, subscriber_topic(i))
+        .where("value", event::Op::kGe, lo)
+        .where("value", event::Op::kLe, lo + 30.0);
+    return f;
+  }
+
+  /// One published event: Zipf-ranked topic, uniform value, caller key.
+  event::Event sample_event(const std::string& key) {
+    event::Event e("reading");
+    e.set("topic", topic_name(zipf_.sample(rng_)));
+    e.set("value", static_cast<double>(rng_.below(80)));
+    e.set("key", key);
+    return e;
+  }
+
+  std::size_t topics() const { return topics_; }
+
+ private:
+  std::size_t topics_;
+  ZipfSampler zipf_;
+  Rng rng_;
+};
 
 inline void headline(const std::string& id, const std::string& claim) {
   std::printf("\n================================================================\n");

@@ -1,0 +1,258 @@
+#include "event/filter_summary.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace aa::event {
+
+namespace {
+
+// A one-sided bound derived from a side's numeric constraints.
+struct Bound {
+  bool has = false;
+  AttrValue value;
+  bool strict = false;
+};
+
+bool numeric(const AttrValue& v) { return v.is_numeric(); }
+
+// The strongest lower/upper bound a conjunction of constraints implies
+// on one attribute (kEq pins both ends).
+void side_bounds(const std::vector<const Constraint*>& side, Bound& lo, Bound& hi) {
+  auto tighten_lo = [&lo](const AttrValue& v, bool strict) {
+    if (!lo.has) {
+      lo = Bound{true, v, strict};
+      return;
+    }
+    const auto c = v.compare(lo.value);
+    if (!c.has_value()) return;
+    if (*c > 0 || (*c == 0 && strict)) lo = Bound{true, v, strict};
+  };
+  auto tighten_hi = [&hi](const AttrValue& v, bool strict) {
+    if (!hi.has) {
+      hi = Bound{true, v, strict};
+      return;
+    }
+    const auto c = v.compare(hi.value);
+    if (!c.has_value()) return;
+    if (*c < 0 || (*c == 0 && strict)) hi = Bound{true, v, strict};
+  };
+  for (const Constraint* c : side) {
+    if (!numeric(c->value)) continue;
+    switch (c->op) {
+      case Op::kEq:
+        tighten_lo(c->value, false);
+        tighten_hi(c->value, false);
+        break;
+      case Op::kGt: tighten_lo(c->value, true); break;
+      case Op::kGe: tighten_lo(c->value, false); break;
+      case Op::kLt: tighten_hi(c->value, true); break;
+      case Op::kLe: tighten_hi(c->value, false); break;
+      default: break;
+    }
+  }
+}
+
+// Canonical value ordering for tie-breaks: the merge must be
+// commutative, so equal-comparing values of different numeric types
+// (int 3 vs double 3.0) cannot be picked by argument order.
+bool value_less(const AttrValue& a, const AttrValue& b) {
+  if (a.type() != b.type()) return static_cast<int>(a.type()) < static_cast<int>(b.type());
+  return a.to_text() < b.to_text();
+}
+
+// The weaker of two bounds (the hull endpoint): for lower bounds the
+// smaller value, for upper bounds the larger; on ties inclusive wins.
+Bound weaker_bound(const Bound& a, const Bound& b, bool lower) {
+  if (!a.has || !b.has) return Bound{};
+  const auto c = a.value.compare(b.value);
+  if (!c.has_value()) return Bound{};
+  if (*c == 0) {
+    return Bound{true, value_less(a.value, b.value) ? a.value : b.value,
+                 a.strict && b.strict};
+  }
+  const bool pick_a = lower ? *c < 0 : *c > 0;
+  return pick_a ? a : b;
+}
+
+// The longest prefix (suffix) a conjunction implies on one attribute.
+std::string side_prefix(const std::vector<const Constraint*>& side, bool prefix) {
+  std::string best;
+  for (const Constraint* c : side) {
+    if (!c->value.is_string()) continue;
+    if (c->op != Op::kEq && c->op != (prefix ? Op::kPrefix : Op::kSuffix)) continue;
+    if (c->value.str().size() > best.size()) best = c->value.str();
+  }
+  return best;
+}
+
+std::string common_prefix(const std::string& a, const std::string& b) {
+  std::size_t n = 0;
+  while (n < a.size() && n < b.size() && a[n] == b[n]) ++n;
+  return a.substr(0, n);
+}
+
+std::string common_suffix(const std::string& a, const std::string& b) {
+  std::size_t n = 0;
+  while (n < a.size() && n < b.size() && a[a.size() - 1 - n] == b[b.size() - 1 - n]) ++n;
+  return a.substr(a.size() - n);
+}
+
+bool implied_by_side(const std::vector<const Constraint*>& side, const Constraint& c) {
+  return std::any_of(side.begin(), side.end(),
+                     [&c](const Constraint* s) { return s->implies(c); });
+}
+
+// Canonical ordering: the summary must be a pure function of the member
+// set, not of merge history, so recomputed summaries compare equal.
+bool constraint_less(const Constraint& a, const Constraint& b) {
+  if (a.atom != b.atom) return a.atom < b.atom;
+  if (a.op != b.op) return static_cast<int>(a.op) < static_cast<int>(b.op);
+  if (a.value.type() != b.value.type()) {
+    return static_cast<int>(a.value.type()) < static_cast<int>(b.value.type());
+  }
+  return a.value.to_text() < b.value.to_text();
+}
+
+}  // namespace
+
+Filter merge_filters(const Filter& a, const Filter& b) {
+  // Group each side's constraints by attribute; only attributes
+  // constrained on BOTH sides can survive the join.
+  std::map<AtomId, std::pair<std::vector<const Constraint*>, std::vector<const Constraint*>>>
+      by_atom;
+  for (const Constraint& c : a.constraints()) by_atom[c.atom].first.push_back(&c);
+  for (const Constraint& c : b.constraints()) by_atom[c.atom].second.push_back(&c);
+
+  std::vector<Constraint> kept;
+  for (const auto& [atom, sides] : by_atom) {
+    const auto& [side_a, side_b] = sides;
+    if (side_a.empty() || side_b.empty()) continue;
+
+    // Candidates: every constraint either side already has, bare
+    // existence, the hull of the two sides' numeric intervals, and the
+    // longest common prefix/suffix of their string constraints.
+    std::vector<Constraint> candidates;
+    for (const Constraint* c : side_a) candidates.push_back(*c);
+    for (const Constraint* c : side_b) candidates.push_back(*c);
+    candidates.emplace_back(atom, Op::kExists);
+
+    Bound lo_a, hi_a, lo_b, hi_b;
+    side_bounds(side_a, lo_a, hi_a);
+    side_bounds(side_b, lo_b, hi_b);
+    if (const Bound lo = weaker_bound(lo_a, lo_b, /*lower=*/true); lo.has) {
+      candidates.emplace_back(atom, lo.strict ? Op::kGt : Op::kGe, lo.value);
+    }
+    if (const Bound hi = weaker_bound(hi_a, hi_b, /*lower=*/false); hi.has) {
+      candidates.emplace_back(atom, hi.strict ? Op::kLt : Op::kLe, hi.value);
+    }
+
+    const std::string pa = side_prefix(side_a, true);
+    const std::string pb = side_prefix(side_b, true);
+    if (!pa.empty() && !pb.empty()) {
+      if (const std::string p = common_prefix(pa, pb); !p.empty()) {
+        candidates.emplace_back(atom, Op::kPrefix, AttrValue(p));
+      }
+    }
+    const std::string sa = side_prefix(side_a, false);
+    const std::string sb = side_prefix(side_b, false);
+    if (!sa.empty() && !sb.empty()) {
+      if (const std::string s = common_suffix(sa, sb); !s.empty()) {
+        candidates.emplace_back(atom, Op::kSuffix, AttrValue(s));
+      }
+    }
+
+    // Keep a candidate only when BOTH sides imply it — this is what
+    // makes the join sound (every input match satisfies it).
+    for (const Constraint& c : candidates) {
+      if (!implied_by_side(side_a, c) || !implied_by_side(side_b, c)) continue;
+      if (std::find(kept.begin(), kept.end(), c) != kept.end()) continue;
+      kept.push_back(c);
+    }
+  }
+
+  // Prune redundant constraints (kGe 3 next to kEq-derived kGe 5, the
+  // kExists shadowed by anything else on the atom).  A constraint is
+  // dropped when another kept one strictly implies it; mutual
+  // implication keeps the canonically-smaller form.
+  std::vector<Constraint> pruned;
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    bool redundant = false;
+    for (std::size_t j = 0; j < kept.size() && !redundant; ++j) {
+      if (i == j || !kept[j].implies(kept[i])) continue;
+      if (kept[i].implies(kept[j])) {
+        redundant = constraint_less(kept[j], kept[i]);
+      } else {
+        redundant = true;
+      }
+    }
+    if (!redundant) pruned.push_back(kept[i]);
+  }
+  std::sort(pruned.begin(), pruned.end(), constraint_less);
+  return Filter(std::move(pruned));
+}
+
+bool FilterSummary::add(std::uint64_t id, const Filter& filter) {
+  auto it = members_.find(id);
+  if (it != members_.end()) {
+    if (it->second == filter) return false;
+    it->second = filter;
+    Filter old = std::move(summary_);
+    recompute();
+    return !(summary_ == old);
+  }
+  Filter old = summary_;
+  const bool append = members_.empty() || id > members_.rbegin()->first;
+  members_.emplace(id, filter);
+  if (members_.size() == 1) {
+    summary_ = filter;
+  } else if (append) {
+    // Appending at the end of id order extends the fold incrementally.
+    summary_ = merge_filters(old, filter);
+  } else {
+    recompute();
+  }
+  return !(summary_ == old);
+}
+
+bool FilterSummary::remove(std::uint64_t id) {
+  auto it = members_.find(id);
+  if (it == members_.end()) return false;
+  members_.erase(it);
+  Filter old = std::move(summary_);
+  if (members_.empty()) {
+    summary_ = Filter();
+    return true;
+  }
+  recompute();
+  return !(summary_ == old);
+}
+
+void FilterSummary::recompute() {
+  summary_ = Filter();
+  bool first = true;
+  for (const auto& [id, filter] : members_) {
+    summary_ = first ? filter : merge_filters(summary_, filter);
+    first = false;
+  }
+}
+
+std::optional<std::size_t> filter_partition(const Filter& f, AtomId attribute,
+                                            std::size_t buckets) {
+  for (const Constraint& c : f.constraints()) {
+    if (c.atom == attribute && c.op == Op::kEq) {
+      return value_partition(c.value, buckets);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> event_partition(const Event& e, AtomId attribute,
+                                           std::size_t buckets) {
+  const AttrValue* v = e.get(attribute);
+  if (v == nullptr) return std::nullopt;
+  return value_partition(*v, buckets);
+}
+
+}  // namespace aa::event

@@ -1,0 +1,92 @@
+// Subscription merging: the covering-lattice join over filters.
+//
+// merge_filters(a, b) computes a *sound generalization* of two filters:
+// a filter whose match set is a superset of both inputs' match sets
+// (false positives only, never false negatives).  Interior brokers use
+// it to collapse N per-client routing entries into one aggregated entry
+// per (neighbour, partition); exact matching is re-done at the edge
+// broker / client, so generalization costs only extra inter-broker
+// traffic, never deliveries (DESIGN.md §11).
+//
+// The join keeps a constraint c on attribute A only when BOTH sides
+// carry a constraint on A that implies c (Constraint::implies, the same
+// relation behind Filter::covers).  Soundness is therefore by
+// construction: any event matching either input satisfies every kept
+// constraint.  Attributes constrained on only one side are dropped —
+// the other side admits events without them.  Beyond the inputs' own
+// constraints, the join proposes tighter common candidates: the hull of
+// numeric intervals, the longest common prefix/suffix of string
+// constraints, and bare existence.
+//
+// FilterSummary maintains the join over a mutable member set (the
+// refcounting half of unmerge): the summary is the left fold of
+// merge_filters over members in id order, so it is a pure function of
+// the member set and rebuilds identically after a crash recovery.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/hash.hpp"
+#include "event/event.hpp"
+#include "event/filter.hpp"
+
+namespace aa::event {
+
+/// The covering join: returns a filter that covers both `a` and `b`
+/// (every event matching either input matches the result).  The result
+/// is canonically ordered, so equal member sets produce bit-equal
+/// filters regardless of merge history.
+Filter merge_filters(const Filter& a, const Filter& b);
+
+/// A merged routing entry: the set of member subscriptions it stands
+/// for, plus their join.  add/remove report whether the visible
+/// summary() changed, which is exactly when a broker must re-send the
+/// aggregated entry upstream.
+class FilterSummary {
+ public:
+  /// Adds (or replaces) member `id`.  Returns true when summary()
+  /// changed.  Note the first member never "changes" an empty summary
+  /// into an equal empty filter — callers that need to forward a brand
+  /// new aggregate should test size()==0 before calling.
+  bool add(std::uint64_t id, const Filter& filter);
+
+  /// Removes member `id`; returns true when summary() changed (the
+  /// departing member was load-bearing).  Removing the last member
+  /// resets the summary to the empty filter; the caller should retract
+  /// the aggregated entry entirely (empty() is the signal).
+  bool remove(std::uint64_t id);
+
+  bool contains(std::uint64_t id) const { return members_.contains(id); }
+  std::size_t size() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
+  const Filter& summary() const { return summary_; }
+
+ private:
+  void recompute();
+
+  std::map<std::uint64_t, Filter> members_;
+  Filter summary_;
+};
+
+/// Deterministic bucket for a value: stable across processes (hashes
+/// the typed text form, never an AtomId).  Precondition: buckets > 0.
+inline std::size_t value_partition(const AttrValue& v, std::size_t buckets) {
+  const std::uint64_t h =
+      hash_mix(fnv1a(v.to_text()), static_cast<std::uint64_t>(v.type()));
+  return static_cast<std::size_t>(h % buckets);
+}
+
+/// The partition a filter is pinned to: the bucket of its equality
+/// constraint on `attribute`, or nullopt when it has none (a wildcard
+/// subscription that must be visible in every partition).
+std::optional<std::size_t> filter_partition(const Filter& f, AtomId attribute,
+                                            std::size_t buckets);
+
+/// The partition an event belongs to: the bucket of its value for
+/// `attribute`, or nullopt when the event lacks the attribute.
+std::optional<std::size_t> event_partition(const Event& e, AtomId attribute,
+                                           std::size_t buckets);
+
+}  // namespace aa::event

@@ -37,6 +37,10 @@ ActiveArchitecture::ActiveArchitecture(Config config) : config_(config) {
   }
   bus_ = std::make_unique<pubsub::SienaNetwork>(*net_, broker_hosts);
   bus_->connect_tree();
+  if (config_.broker_aggregation) {
+    bus_->enable_aggregation(pubsub::BrokerAggregationParams{
+        config_.aggregation_attribute, config_.aggregation_groups});
+  }
 
   // --- Overlay + storage on every host.
   overlay::OverlayNetwork::Params op;

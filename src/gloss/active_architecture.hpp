@@ -58,6 +58,13 @@ class ActiveArchitecture {
     std::size_t hosts = 32;
     int regions = 4;
     std::size_t brokers = 8;
+    /// Covering-based subscription merging on the event bus (DESIGN.md
+    /// §11): interior brokers carry one merged entry per partition
+    /// group instead of one per subscription.  Delivery sets are
+    /// unchanged; off by default to keep routed-message counts exact.
+    bool broker_aggregation = false;
+    std::string aggregation_attribute = "type";
+    std::size_t aggregation_groups = 8;
     std::uint64_t seed = 42;
     int storage_replicas = 3;
     bool promiscuous_cache = true;

@@ -23,6 +23,7 @@
 #include "event/event.hpp"
 #include "event/filter.hpp"
 #include "event/filter_index.hpp"
+#include "event/filter_summary.hpp"
 #include "pubsub/messages.hpp"
 #include "sim/durable_disk.hpp"
 #include "sim/network.hpp"
@@ -49,6 +50,24 @@ struct BrokerStats {
   std::uint64_t sync_replies = 0;       // peer replies applied
   std::uint64_t sync_retries = 0;       // resends after timeout (stale peer)
   std::uint64_t sync_give_ups = 0;      // peers that never answered
+  // Subscription aggregation (enable_aggregation):
+  std::uint64_t aggregate_updates = 0;      // merged entries (re)sent upstream
+  std::uint64_t aggregate_retractions = 0;  // merged entries withdrawn (last member gone)
+  std::uint64_t aggregate_absorbed = 0;     // member changes absorbed with no upstream send
+  /// Stamped publications discarded as already routed here — nonzero
+  /// only when a crash/fault overlap re-injected a processed packet
+  /// (messages.hpp: PublishMsg::pub_id).
+  std::uint64_t duplicate_publishes_discarded = 0;
+};
+
+/// Knobs for covering-based subscription merging (DESIGN.md §11).
+struct BrokerAggregationParams {
+  /// Filters carrying an equality constraint on this attribute are
+  /// grouped by a stable hash of its value; filters without one fall
+  /// into overflow groups keyed by their constrained-attribute shape.
+  std::string partition_attribute = "type";
+  /// Hash buckets per neighbour (the overflow groups double this).
+  std::size_t groups = 8;
 };
 
 /// Knobs for broker checkpointing and the recovery sync protocol.
@@ -62,7 +81,12 @@ struct BrokerDurabilityParams {
 
 class Broker {
  public:
-  Broker(sim::Network& net, sim::HostId host);
+  /// `broker_proto`/`client_proto` default to the overlay-wide protocol
+  /// names; a BrokerShardRouter runs several independent overlays on
+  /// one simulated network by giving each shard a suffixed pair (the
+  /// network keeps one handler per (host, protocol)).
+  Broker(sim::Network& net, sim::HostId host, std::string broker_proto = kBrokerProto,
+         std::string client_proto = kClientProto);
 
   sim::HostId host() const { return host_; }
 
@@ -74,6 +98,20 @@ class Broker {
   /// of an overlay must agree on the mode.
   void set_advertisement_forwarding(bool on) { advertisement_forwarding_ = on; }
   bool advertisement_forwarding() const { return advertisement_forwarding_; }
+
+  /// Covering-based subscription merging (DESIGN.md §11): instead of
+  /// forwarding per-subscription entries pruned by covering, the broker
+  /// keeps one FilterSummary per (neighbour, partition group) and
+  /// forwards a single merged entry per live group.  Generalization is
+  /// false-positive-only — the merged filter covers every member, and
+  /// exact matching still happens at the edge broker and in client
+  /// dispatch — so delivery sets are unchanged while interior routing
+  /// state stays proportional to neighbours x groups, not clients.
+  /// All brokers of an overlay must agree on the mode, and it must be
+  /// enabled before subscriptions exist (SienaNetwork::enable_aggregation
+  /// does both).
+  void enable_aggregation(const BrokerAggregationParams& params);
+  bool aggregation_enabled() const { return aggregation_; }
 
   /// Selects the publication-matching path: the counting FilterIndex
   /// (default) or the linear scan over the routing table, kept as the
@@ -109,6 +147,11 @@ class Broker {
   /// Number of routing-table entries (for table-size scaling metrics).
   std::size_t table_size() const { return table_.size(); }
   std::size_t advert_count() const { return adverts_.size(); }
+  /// Entries learned from neighbour brokers — the interior routing
+  /// state the aggregation tier keeps sub-linear in client count.
+  std::size_t transit_entries() const;
+  /// Live aggregated entries this broker forwards to neighbours.
+  std::size_t aggregate_count() const { return summaries_.size(); }
 
   /// Checkpoints the subscription/advertisement tables to `disk` after
   /// every routing-state mutation (ping-pong format, sim/durable_disk).
@@ -141,7 +184,8 @@ class Broker {
   void handle_subscribe(std::uint64_t id, const event::Filter& filter, Iface source);
   void handle_unsubscribe(std::uint64_t id, Iface source);
   void handle_advertise(std::uint64_t id, const event::Filter& filter, Iface source);
-  void route_publish(const event::Event& e, std::optional<sim::HostId> arrival_broker);
+  void route_publish(const event::Event& e, std::optional<sim::HostId> arrival_broker,
+                     std::uint64_t pub_id = 0);
 
   /// In advertisement mode: may a subscription with `filter` flow to
   /// `neighbour` (i.e. does an advertisement from that direction
@@ -153,6 +197,37 @@ class Broker {
                   std::uint64_t ignore_id) const;
 
   void send_subscribe(sim::HostId neighbour, std::uint64_t id, const event::Filter& filter);
+
+  // --- Aggregation internals (enable_aggregation) ---
+  /// The partition group a member filter belongs to.
+  std::size_t group_of(const event::Filter& filter) const;
+  /// The summary a member *entry* folds into: its filter's group, with
+  /// broker-sourced (transit) entries offset into a disjoint tier.
+  /// Client subscription ids arrive in ascending order, so a
+  /// clients-only summary extends by one incremental merge per add
+  /// (FilterSummary's append path); one huge kAggregateTag member id in
+  /// the same summary would force a full O(members) refold on every
+  /// later client add — quadratic install cost at an edge broker.
+  /// Transit-tier summaries stay small (one member per downstream
+  /// aggregate), so their refolds are cheap.
+  std::size_t member_tier_group(const Entry& entry) const;
+  /// The stable id an aggregated entry travels under: unique per
+  /// (origin broker, neighbour, group) and disjoint from client ids.
+  std::uint64_t aggregate_id(sim::HostId neighbour, std::size_t group) const;
+  /// Adds/updates member `id` in the summaries toward every eligible
+  /// neighbour, re-sending each summary that changed.
+  void aggregate_member(std::uint64_t id, const Entry& entry);
+  /// Removes member `id` from group `group` toward every neighbour.
+  void aggregate_erase(std::uint64_t id, std::size_t group);
+  /// Removes member `id` from the summary toward one neighbour,
+  /// re-sending or retracting the aggregate as needed.
+  void aggregate_drop(sim::HostId neighbour, std::size_t group, std::uint64_t id);
+  void aggregate_send(sim::HostId neighbour, std::size_t group);
+  void aggregate_retract(sim::HostId neighbour, std::size_t group);
+  /// Rebuilds summaries_/member_group_ from table_ (recovery, or
+  /// enabling aggregation on a populated broker), then announces each
+  /// live aggregate once.
+  void rebuild_aggregates();
 
   /// Broker-to-broker send: reliable transport when configured, raw
   /// kBrokerProto datagram otherwise.
@@ -170,9 +245,22 @@ class Broker {
 
   sim::Network& net_;
   sim::HostId host_;
+  std::string broker_proto_;
+  std::string client_proto_;
   sim::ReliableTransport* transport_ = nullptr;
   bool advertisement_forwarding_ = false;
   bool indexed_matching_ = true;
+  bool aggregation_ = false;
+  BrokerAggregationParams agg_params_;
+  event::AtomId agg_atom_ = event::kNoAtom;
+  // (neighbour, tiered group) -> the merged member filters forwarded
+  // that way; client members and transit (broker-sourced) members fold
+  // in disjoint tiers (member_tier_group).
+  std::map<std::pair<sim::HostId, std::size_t>, event::FilterSummary> summaries_;
+  // Member subscription id -> its partition group (the same toward
+  // every neighbour), kept so unsubscribes find their summary after the
+  // table entry is gone.
+  std::map<std::uint64_t, std::size_t> member_group_;
   std::set<sim::HostId> neighbours_;
   std::map<std::uint64_t, Entry> table_;
   // Predicate index over table_ filters; maintained alongside every
@@ -182,6 +270,11 @@ class Broker {
   std::map<sim::HostId, std::set<std::uint64_t>> forwarded_;
   // Advertisements seen, by id (filter + the interface they came from).
   std::map<std::uint64_t, Entry> adverts_;
+  // Stamped publication ids already routed here (PublishMsg::pub_id);
+  // in-memory only, so it is cleared on recover() like a restarted
+  // process would — downstream brokers' sets catch what the crash
+  // forgot.
+  std::set<std::uint64_t> seen_publishes_;
   // Crash durability (nullptr when checkpointing is off).
   sim::DurableDisk* disk_ = nullptr;
   BrokerDurabilityParams dur_params_;

@@ -35,6 +35,13 @@ struct UnsubscribeMsg {
 
 struct PublishMsg {
   event::Event event;
+  /// Producer-assigned unique publication id (0 = unstamped).  Brokers
+  /// discard a stamped id they have already routed: the reliable
+  /// transport dedups retransmits within one peer incarnation, but a
+  /// publication processed by a broker that then crashes — with its ack
+  /// lost to link faults — comes back via the sender's parked-packet
+  /// flush after recovery, and only an end-to-end id catches that.
+  std::uint64_t pub_id = 0;
 };
 
 /// Broker -> client delivery.

@@ -6,12 +6,17 @@
 
 namespace aa::pubsub {
 
-SienaNetwork::SienaNetwork(sim::Network& net, std::vector<sim::HostId> broker_hosts)
-    : net_(net), broker_hosts_(std::move(broker_hosts)), stalled_(net.host_count()) {
+SienaNetwork::SienaNetwork(sim::Network& net, std::vector<sim::HostId> broker_hosts,
+                           std::string proto_suffix)
+    : net_(net),
+      broker_hosts_(std::move(broker_hosts)),
+      broker_proto_(std::string(kBrokerProto) + proto_suffix),
+      client_proto_(std::string(kClientProto) + proto_suffix),
+      stalled_(net.host_count()) {
   for (sim::HostId h : broker_hosts_) {
-    auto broker = std::make_unique<Broker>(net_, h);
+    auto broker = std::make_unique<Broker>(net_, h, broker_proto_, client_proto_);
     Broker* raw = broker.get();
-    net_.register_handler(h, kBrokerProto,
+    net_.register_handler(h, broker_proto_,
                           [raw](const sim::Packet& p) { raw->on_message(p); });
     brokers_.emplace(h, std::move(broker));
   }
@@ -20,10 +25,10 @@ SienaNetwork::SienaNetwork(sim::Network& net, std::vector<sim::HostId> broker_ho
 SienaNetwork::~SienaNetwork() {
   if (watcher_id_ != 0) net_.remove_host_watcher(watcher_id_);
   for (const auto& [h, broker] : brokers_) {
-    net_.unregister_handler(h, kBrokerProto);
+    net_.unregister_handler(h, broker_proto_);
   }
   for (const auto& [h, state] : clients_) {
-    net_.unregister_handler(h, kClientProto);
+    net_.unregister_handler(h, client_proto_);
   }
 }
 
@@ -65,7 +70,7 @@ void SienaNetwork::attach_client(sim::HostId client_host, sim::HostId broker_hos
   ClientState& state = clients_[client_host];
   const sim::HostId previous = state.access_broker;
   state.access_broker = broker_host;
-  net_.register_handler(client_host, kClientProto, [this, client_host](const sim::Packet& p) {
+  net_.register_handler(client_host, client_proto_, [this, client_host](const sim::Packet& p) {
     on_client_message(client_host, p);
   });
   if (previous == sim::kNoHost || previous == broker_host) return;
@@ -73,10 +78,10 @@ void SienaNetwork::attach_client(sim::HostId client_host, sim::HostId broker_hos
   // access broker.  Tear them down there and re-issue them at the new
   // one, or events keep flowing to a broker the client no longer reads.
   for (const auto& [id, sub] : state.subs) {
-    net_.send(client_host, previous, kBrokerProto, UnsubscribeMsg{id}, unsubscribe_wire_size());
+    net_.send(client_host, previous, broker_proto_, UnsubscribeMsg{id}, unsubscribe_wire_size());
     SubscribeMsg msg{id, sub.filter};
     const std::size_t size = subscribe_wire_size(msg);
-    net_.send(client_host, broker_host, kBrokerProto, std::move(msg), size);
+    net_.send(client_host, broker_host, broker_proto_, std::move(msg), size);
   }
 }
 
@@ -112,7 +117,7 @@ std::uint64_t SienaNetwork::subscribe(sim::HostId client, const event::Filter& f
   state.index.add(id, filter);
   SubscribeMsg msg{id, filter};
   const std::size_t size = subscribe_wire_size(msg);
-  net_.send(client, state.access_broker, kBrokerProto, std::move(msg), size);
+  net_.send(client, state.access_broker, broker_proto_, std::move(msg), size);
   return id;
 }
 
@@ -120,7 +125,7 @@ void SienaNetwork::unsubscribe(sim::HostId client, std::uint64_t subscription_id
   ClientState& state = client_state(client);
   state.subs.erase(subscription_id);
   state.index.remove(subscription_id);
-  net_.send(client, state.access_broker, kBrokerProto, UnsubscribeMsg{subscription_id},
+  net_.send(client, state.access_broker, broker_proto_, UnsubscribeMsg{subscription_id},
             unsubscribe_wire_size());
 }
 
@@ -132,13 +137,20 @@ void SienaNetwork::publish(sim::HostId client, const event::Event& e) {
       net_, net_.current_trace().active() ? net_.current_trace() : net_.start_trace());
   sim::Network::SpanScope span(net_, client, "client", "publish");
   if (span.active()) span.annotate("type=" + e.type());
-  PublishMsg pub{e};
+  // Producer-stamped id: unique across this event service for the whole
+  // run, so brokers can discard a publication a crash/fault overlap
+  // re-injected (see PublishMsg::pub_id).
+  PublishMsg pub{e, ++next_pub_id_};
   const std::size_t size = publish_wire_size(pub);
-  net_.send(client, state.access_broker, kBrokerProto, std::move(pub), size);
+  net_.send(client, state.access_broker, broker_proto_, std::move(pub), size);
 }
 
 void SienaNetwork::set_advertisement_forwarding(bool on) {
   for (const auto& [h, broker] : brokers_) broker->set_advertisement_forwarding(on);
+}
+
+void SienaNetwork::enable_aggregation(const BrokerAggregationParams& params) {
+  for (const auto& [h, broker] : brokers_) broker->enable_aggregation(params);
 }
 
 void SienaNetwork::set_indexed_matching(bool on) {
@@ -148,8 +160,7 @@ void SienaNetwork::set_indexed_matching(bool on) {
 
 void SienaNetwork::enable_reliable_transport(const sim::ReliableParams& params) {
   if (transport_ != nullptr) return;
-  transport_ = std::make_unique<sim::ReliableTransport>(
-      net_, std::string(kBrokerProto) + ".r", params);
+  transport_ = std::make_unique<sim::ReliableTransport>(net_, broker_proto_ + ".r", params);
   for (const auto& [h, broker] : brokers_) {
     Broker* raw = broker.get();
     transport_->register_handler(h, [raw](const sim::Packet& p) { raw->on_message(p); });
@@ -189,6 +200,18 @@ void SienaNetwork::on_transport_give_up(const sim::Packet& packet) {
   // slot is the *source* host — the one whose timer fired — so no two
   // shards ever write the same slot.
   if (!brokers_.contains(packet.dst) || packet.src >= stalled_.size()) return;
+  // Under link faults the give-up can trail the peer's rejoin (the
+  // retries that would have discovered the new incarnation were
+  // dropped).  The host-up flush already ran, so parking now would
+  // strand the packet: re-send it directly instead.  Broker-level
+  // duplicate suppression (PublishMsg::pub_id) keeps the re-send safe
+  // even when the old incarnation had already processed it.
+  if (net_.host_up(packet.dst)) {
+    net_.scheduler().after(0, [this, packet]() {
+      if (transport_ != nullptr) transport_->send(packet);
+    });
+    return;
+  }
   stalled_[packet.src].push_back(packet);
 }
 
@@ -227,7 +250,7 @@ void SienaNetwork::advertise(sim::HostId client, const event::Filter& filter) {
   ClientState& state = client_state(client);
   AdvertiseMsg msg{id, filter};
   const std::size_t size = advertise_wire_size(msg);
-  net_.send(client, state.access_broker, kBrokerProto, std::move(msg), size);
+  net_.send(client, state.access_broker, broker_proto_, std::move(msg), size);
 }
 
 void SienaNetwork::re_advertise(sim::HostId client, std::uint64_t id,
@@ -238,7 +261,7 @@ void SienaNetwork::re_advertise(sim::HostId client, std::uint64_t id,
   ClientState& state = client_state(client);
   AdvertiseMsg msg{id, filter};
   const std::size_t size = advertise_wire_size(msg);
-  net_.send(client, state.access_broker, kBrokerProto, std::move(msg), size);
+  net_.send(client, state.access_broker, broker_proto_, std::move(msg), size);
 }
 
 void SienaNetwork::on_client_message(sim::HostId client_host, const sim::Packet& packet) {
@@ -304,8 +327,30 @@ BrokerStats SienaNetwork::total_broker_stats() const {
     total.sync_replies += s.sync_replies;
     total.sync_retries += s.sync_retries;
     total.sync_give_ups += s.sync_give_ups;
+    total.aggregate_updates += s.aggregate_updates;
+    total.aggregate_retractions += s.aggregate_retractions;
+    total.aggregate_absorbed += s.aggregate_absorbed;
+    total.duplicate_publishes_discarded += s.duplicate_publishes_discarded;
   }
   return total;
+}
+
+std::size_t SienaNetwork::total_table_entries() const {
+  std::size_t total = 0;
+  for (const auto& [h, b] : brokers_) total += b->table_size();
+  return total;
+}
+
+std::size_t SienaNetwork::total_transit_entries() const {
+  std::size_t total = 0;
+  for (const auto& [h, b] : brokers_) total += b->transit_entries();
+  return total;
+}
+
+std::size_t SienaNetwork::max_table_entries() const {
+  std::size_t max_entries = 0;
+  for (const auto& [h, b] : brokers_) max_entries = std::max(max_entries, b->table_size());
+  return max_entries;
 }
 
 std::uint64_t SienaNetwork::max_broker_load() const {

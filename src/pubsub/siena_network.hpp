@@ -20,8 +20,13 @@ class SienaNetwork final : public EventService {
  public:
   /// Creates one broker on each of `broker_hosts`.  Clients may live on
   /// any other host (or share a broker's host — they still talk to it
-  /// through the network, at loopback latency).
-  SienaNetwork(sim::Network& net, std::vector<sim::HostId> broker_hosts);
+  /// through the network, at loopback latency).  `proto_suffix`
+  /// namespaces this overlay's protocols ("ps.broker<suffix>" /
+  /// "ps.client<suffix>"): the network keeps one handler per
+  /// (host, protocol), so independent overlays sharing hosts — the
+  /// shards of a BrokerShardRouter — each need their own pair.
+  SienaNetwork(sim::Network& net, std::vector<sim::HostId> broker_hosts,
+               std::string proto_suffix = "");
   ~SienaNetwork() override;
 
   SienaNetwork(const SienaNetwork&) = delete;
@@ -44,6 +49,14 @@ class SienaNetwork final : public EventService {
   /// broker and for local client dispatch.  The naive path is the
   /// correctness oracle; both deliver identical event sets.
   void set_indexed_matching(bool on);
+
+  /// Enables covering-based subscription merging on every broker
+  /// (Broker::enable_aggregation): interior brokers forward one merged
+  /// entry per (neighbour, partition group) instead of one per client
+  /// subscription.  Delivery sets are unchanged — the merged filter
+  /// only over-approximates, and edge brokers plus client dispatch
+  /// still match exactly.  Call before any subscribe().
+  void enable_aggregation(const BrokerAggregationParams& params = {});
 
   /// Routes broker-to-broker forwarding through an ack/retry reliable
   /// transport (protocol "ps.broker.r", sim/reliable.hpp), so routing
@@ -100,6 +113,12 @@ class SienaNetwork final : public EventService {
   BrokerStats total_broker_stats() const;
   /// Largest per-broker routed-publication count (hotspot measure).
   std::uint64_t max_broker_load() const;
+  /// Total routing-table entries across brokers, and the subset learned
+  /// from neighbour brokers (the interior state aggregation compresses).
+  std::size_t total_table_entries() const;
+  std::size_t total_transit_entries() const;
+  /// Largest single broker routing table in the overlay.
+  std::size_t max_table_entries() const;
 
   const std::vector<event::Advertisement>& advertisements() const { return advertisements_; }
 
@@ -124,6 +143,8 @@ class SienaNetwork final : public EventService {
 
   sim::Network& net_;
   std::vector<sim::HostId> broker_hosts_;
+  std::string broker_proto_;
+  std::string client_proto_;
   bool indexed_matching_ = true;
   std::unique_ptr<sim::ReliableTransport> transport_;
   sim::DurableDisk* disk_ = nullptr;
@@ -139,6 +160,7 @@ class SienaNetwork final : public EventService {
   std::vector<event::Advertisement> advertisements_;
   std::uint64_t next_sub_id_ = 1;
   std::uint64_t next_adv_id_ = 1;
+  std::uint64_t next_pub_id_ = 0;  // producer-side publication stamps
 };
 
 }  // namespace aa::pubsub

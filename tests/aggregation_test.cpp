@@ -1,0 +1,725 @@
+// Proof harness for covering-based subscription merging and the
+// partitioned broker tier (event/filter_summary, pubsub/broker
+// aggregation mode, pubsub/shard_router).
+//
+// Three layers of evidence, mirroring the guarantees DESIGN.md §11
+// claims:
+//
+//   1. Property/fuzz suite over merge_filters and the covering lattice:
+//      merge soundness (any event matching an input matches the join),
+//      covers() antisymmetry/transitivity, and FilterSummary fold
+//      determinism + unmerge correctness.  5k randomized iterations
+//      under the asan preset, a smaller seed-pinned sweep in tier-1.
+//   2. Broker-level semantics: interior brokers hold one merged entry
+//      per partition group, unmerge narrows without stranding or
+//      over-pruning siblings, retraction removes the entry.
+//   3. End-to-end oracles: a 21-seed chaos sweep (link faults, two
+//      partition windows, a mid-run broker crash/recover on PR 6
+//      checkpoints) whose aggregated delivery digests must be
+//      bit-identical to the unaggregated fault-free oracle, plus a
+//      shard-crash-during-Zipf-hotspot scenario on the BrokerShardRouter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "event/filter_summary.hpp"
+#include "pubsub/shard_router.hpp"
+#include "pubsub/siena_network.hpp"
+#include "sim/churn.hpp"
+#include "sim/durable_disk.hpp"
+
+namespace aa {
+namespace {
+
+using event::AttrValue;
+using event::Constraint;
+using event::Event;
+using event::Filter;
+using event::FilterSummary;
+using event::Op;
+using event::merge_filters;
+using pubsub::BrokerAggregationParams;
+using pubsub::SienaNetwork;
+
+// 5k fuzz iterations under ASan (the preset that hunts for lifetime
+// bugs in the merge path); a faster seed-pinned sweep everywhere else.
+#if defined(__SANITIZE_ADDRESS__)
+constexpr int kFuzzIters = 5000;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+constexpr int kFuzzIters = 5000;
+#else
+constexpr int kFuzzIters = 800;
+#endif
+#else
+constexpr int kFuzzIters = 800;
+#endif
+
+// --- Randomized filter/event generators ----------------------------------
+//
+// Small value pools keep collision probability high, so sampled events
+// actually exercise the match/cover boundaries instead of vacuously
+// missing every filter.
+
+const std::vector<std::string>& attr_pool() {
+  static const std::vector<std::string> attrs{"type", "value", "name", "zone"};
+  return attrs;
+}
+
+const std::vector<std::string>& string_pool() {
+  static const std::vector<std::string> strings{"t0",    "t1",   "t12",  "alpha",
+                                                "alp",   "beta", "north", "no"};
+  return strings;
+}
+
+AttrValue random_value(Rng& rng) {
+  switch (rng.below(4)) {
+    case 0: return AttrValue(string_pool()[rng.below(string_pool().size())]);
+    case 1: return AttrValue(static_cast<std::int64_t>(rng.below(16)) - 5);
+    case 2: return AttrValue((static_cast<double>(rng.below(32)) - 10.0) / 2.0);
+    default: return AttrValue(rng.chance(0.5));
+  }
+}
+
+Constraint random_constraint(Rng& rng) {
+  const std::string& attr = attr_pool()[rng.below(attr_pool().size())];
+  const Op op = static_cast<Op>(rng.below(10));
+  switch (op) {
+    case Op::kExists:
+      return Constraint(attr, op);
+    case Op::kPrefix:
+    case Op::kSuffix:
+    case Op::kSubstring:
+      return Constraint(attr, op, AttrValue(string_pool()[rng.below(string_pool().size())]));
+    default:
+      return Constraint(attr, op, random_value(rng));
+  }
+}
+
+Filter random_filter(Rng& rng, std::size_t max_constraints = 3) {
+  std::vector<Constraint> cs;
+  const std::size_t n = 1 + rng.below(max_constraints);
+  for (std::size_t i = 0; i < n; ++i) cs.push_back(random_constraint(rng));
+  return Filter(std::move(cs));
+}
+
+Event random_event(Rng& rng) {
+  Event e("fuzz");
+  for (const std::string& attr : attr_pool()) {
+    if (rng.chance(0.2)) continue;  // sometimes absent: exercises kExists
+    e.set(attr, random_value(rng));
+  }
+  return e;
+}
+
+// --- 1. Property/fuzz suite ----------------------------------------------
+
+TEST(AggregationProperty, MergeSoundnessFuzz) {
+  Rng rng(0xA66u);
+  std::uint64_t input_matches = 0;
+  for (int iter = 0; iter < kFuzzIters; ++iter) {
+    const Filter a = random_filter(rng);
+    const Filter b = random_filter(rng);
+    const Filter merged = merge_filters(a, b);
+
+    // Structural: the join covers both inputs, and is symmetric (the
+    // canonical ordering makes merge history invisible).
+    EXPECT_TRUE(merged.covers(a)) << merged.describe() << " !covers " << a.describe();
+    EXPECT_TRUE(merged.covers(b)) << merged.describe() << " !covers " << b.describe();
+    const Filter flipped = merge_filters(b, a);
+    EXPECT_EQ(merged, flipped)
+        << "a=" << a.describe() << " b=" << b.describe() << " ab=" << merged.describe()
+        << " ba=" << flipped.describe();
+
+    // Semantic: false positives only — no event matched by an input may
+    // escape the merged filter.
+    for (int s = 0; s < 24; ++s) {
+      const Event e = random_event(rng);
+      if (a.matches(e) || b.matches(e)) {
+        ++input_matches;
+        EXPECT_TRUE(merged.matches(e))
+            << "event escaped the join: a=" << a.describe() << " b=" << b.describe()
+            << " merged=" << merged.describe();
+      }
+    }
+  }
+  // The sweep exercised real matches, not vacuous misses.
+  EXPECT_GT(input_matches, static_cast<std::uint64_t>(kFuzzIters));
+}
+
+TEST(AggregationProperty, CoversLatticeFuzz) {
+  Rng rng(0xC0FEu);
+  std::uint64_t covering_pairs = 0;
+  for (int iter = 0; iter < kFuzzIters; ++iter) {
+    const Filter a = random_filter(rng);
+    const Filter b = random_filter(rng);
+    const Filter c = random_filter(rng);
+
+    // Soundness: covers(a, b) means every b-match is an a-match.
+    if (a.covers(b)) {
+      ++covering_pairs;
+      for (int s = 0; s < 16; ++s) {
+        const Event e = random_event(rng);
+        if (b.matches(e)) {
+          EXPECT_TRUE(a.matches(e))
+              << a.describe() << " claims to cover " << b.describe();
+        }
+      }
+    }
+    // Antisymmetry (up to semantic equivalence): mutual covering means
+    // the two filters match the same events.
+    if (a.covers(b) && b.covers(a)) {
+      for (int s = 0; s < 16; ++s) {
+        const Event e = random_event(rng);
+        EXPECT_EQ(a.matches(e), b.matches(e))
+            << a.describe() << " <-> " << b.describe();
+      }
+    }
+    // Transitivity: covering chains along the broker overlay compose.
+    if (a.covers(b) && b.covers(c)) {
+      EXPECT_TRUE(a.covers(c)) << a.describe() << " -> " << b.describe() << " -> "
+                               << c.describe();
+    }
+  }
+  EXPECT_GT(covering_pairs, 0u);
+}
+
+TEST(AggregationProperty, SummaryFoldDeterminismAndUnmerge) {
+  Rng rng(0x5EEDu);
+  for (int iter = 0; iter < kFuzzIters / 8; ++iter) {
+    FilterSummary summary;
+    std::map<std::uint64_t, Filter> members;
+    for (int step = 0; step < 12; ++step) {
+      if (!members.empty() && rng.chance(0.3)) {
+        // Unmerge a random member.
+        auto it = members.begin();
+        std::advance(it, static_cast<long>(rng.below(members.size())));
+        summary.remove(it->first);
+        members.erase(it);
+      } else {
+        const std::uint64_t id = 1 + rng.below(20);
+        const Filter f = random_filter(rng);
+        summary.add(id, f);
+        members[id] = f;
+      }
+      ASSERT_EQ(summary.size(), members.size());
+      // Unmerge never strands a sibling: at every point the summary
+      // covers every remaining member (semantically: their matches are
+      // the summary's matches).
+      for (const auto& [id, f] : members) {
+        EXPECT_TRUE(summary.summary().covers(f))
+            << summary.summary().describe() << " !covers member " << f.describe();
+      }
+      // Determinism: the summary is a pure function of the member set —
+      // rebuilding from scratch in any insertion order gives the same
+      // filter, so a recovered broker re-announces identical aggregates.
+      FilterSummary rebuilt;
+      for (const auto& [id, f] : members) rebuilt.add(id, f);
+      EXPECT_EQ(summary.summary(), rebuilt.summary());
+    }
+  }
+}
+
+TEST(AggregationProperty, MergeKnownJoins) {
+  // Pinned examples documenting what the join computes.
+  const Filter eq5 = Filter().where("v", Op::kEq, 5);
+  const Filter eq9 = Filter().where("v", Op::kEq, 9);
+  const Filter hull = merge_filters(eq5, eq9);
+  // Two pins widen to their numeric hull, not to match-all.
+  EXPECT_TRUE(hull.matches(Event("e").set("v", 7)));
+  EXPECT_FALSE(hull.matches(Event("e").set("v", 4)));
+  EXPECT_FALSE(hull.matches(Event("e").set("v", 10)));
+
+  // String pins widen to their longest common prefix.
+  const Filter t0 = Filter().where("t", Op::kEq, "t0");
+  const Filter t12 = Filter().where("t", Op::kEq, "t12");
+  const Filter pre = merge_filters(t0, t12);
+  EXPECT_TRUE(pre.matches(Event("e").set("t", "t7")));
+  EXPECT_FALSE(pre.matches(Event("e").set("t", "x0")));
+
+  // Attributes constrained on only one side are dropped.
+  const Filter left = Filter().where("a", Op::kGt, 1).where("b", Op::kEq, "x");
+  const Filter right = Filter().where("a", Op::kGt, 3);
+  const Filter joined = merge_filters(left, right);
+  EXPECT_TRUE(joined.matches(Event("e").set("a", 2)));   // hull of the bounds
+  EXPECT_FALSE(joined.matches(Event("e").set("a", 0)));
+  EXPECT_TRUE(joined.covers(left));
+  EXPECT_TRUE(joined.covers(right));
+
+  // Disjoint attribute sets join to match-all (the only sound answer).
+  EXPECT_TRUE(merge_filters(Filter().where("a", Op::kEq, 1),
+                            Filter().where("b", Op::kEq, 2))
+                  .empty());
+}
+
+// --- 2. Broker-level aggregation semantics --------------------------------
+
+struct BusFixture {
+  sim::Scheduler sched;
+  std::shared_ptr<sim::UniformTopology> topo;
+  sim::Network net;
+  explicit BusFixture(std::size_t hosts = 16)
+      : topo(std::make_shared<sim::UniformTopology>(hosts, duration::millis(5))),
+        net(sched, topo) {}
+};
+
+Event temp_event(const std::string& type, double celsius, const std::string& key) {
+  Event e(type);
+  e.set("celsius", celsius);
+  e.set("key", key);
+  return e;
+}
+
+TEST(Aggregation, InteriorBrokerHoldsOneEntryPerGroup) {
+  // Chain 0-1-2; many clients on broker 0 subscribe overlapping filters
+  // pinned to the same type.  Without aggregation broker 1 carries one
+  // entry per uncovered subscription; with it, one merged entry per
+  // (neighbour, group) — constant in client count.
+  BusFixture f;
+  SienaNetwork ps(f.net, {0, 1, 2});
+  (void)ps.connect(0, 1);
+  (void)ps.connect(1, 2);
+  ps.enable_aggregation(BrokerAggregationParams{"type", 4});
+  ps.attach_client(3, 0);  // subscribers at one chain end...
+  ps.attach_client(6, 2);  // ...publisher at the other: events transit 1
+
+  int delivered = 0;
+  for (int i = 0; i < 12; ++i) {
+    const double lo = 10.0 + static_cast<double>(i);
+    ps.subscribe(3, Filter()
+                        .where("type", Op::kEq, "temp")
+                        .where("celsius", Op::kGe, lo)
+                        .where("celsius", Op::kLe, lo + 5.0),
+                 [&delivered](const Event&) { ++delivered; });
+  }
+  f.sched.run();
+
+  // Broker 0 (edge) holds all 12 exact filters; brokers 1 and 2 hold
+  // exactly one aggregated entry each.
+  EXPECT_EQ(ps.broker(0)->table_size(), 12u);
+  EXPECT_EQ(ps.broker(1)->table_size(), 1u);
+  EXPECT_EQ(ps.broker(2)->table_size(), 1u);
+  EXPECT_EQ(ps.broker(0)->aggregate_count(), 1u);
+
+  // The merged entry is the hull [10, 26]: events inside any member
+  // range deliver, events inside the hull but outside every member are
+  // false positives that edge-exact matching discards.
+  ps.publish(6, temp_event("temp", 12.0, "a"));  // members [10,15],[11,16],[12,17]
+  f.sched.run();
+  EXPECT_EQ(delivered, 3);
+  ps.publish(6, temp_event("temp", 50.0, "b"));  // outside the hull
+  f.sched.run();
+  EXPECT_EQ(delivered, 3);
+}
+
+TEST(Aggregation, UnmergeNarrowsWithoutStrandingSiblings) {
+  // Unsubscribing a merged member must (a) keep every sibling's
+  // deliveries intact and (b) actually narrow the upstream entry when
+  // the departing member was load-bearing — never over-prune.
+  BusFixture f;
+  SienaNetwork ps(f.net, {0, 1, 2});
+  (void)ps.connect(0, 1);
+  (void)ps.connect(1, 2);
+  ps.enable_aggregation(BrokerAggregationParams{"type", 4});
+  ps.attach_client(3, 0);
+  ps.attach_client(6, 2);
+
+  int wide = 0, narrow = 0;
+  const auto wide_id = ps.subscribe(3, Filter()
+                                           .where("type", Op::kEq, "temp")
+                                           .where("celsius", Op::kGe, 0.0)
+                                           .where("celsius", Op::kLe, 100.0),
+                                    [&wide](const Event&) { ++wide; });
+  const auto narrow_id = ps.subscribe(3, Filter()
+                                             .where("type", Op::kEq, "temp")
+                                             .where("celsius", Op::kGe, 40.0)
+                                             .where("celsius", Op::kLe, 60.0),
+                                      [&narrow](const Event&) { ++narrow; });
+  f.sched.run();
+  const auto before = ps.total_broker_stats();
+
+  ps.publish(6, temp_event("temp", 5.0, "a"));
+  f.sched.run();
+  EXPECT_EQ(wide, 1);
+  EXPECT_EQ(narrow, 0);
+
+  ps.unsubscribe(3, wide_id);
+  f.sched.run();
+  // The aggregate narrowed in place (an update, not a retraction).
+  const auto after = ps.total_broker_stats();
+  EXPECT_GT(after.aggregate_updates, before.aggregate_updates);
+  EXPECT_EQ(after.aggregate_retractions, before.aggregate_retractions);
+  EXPECT_EQ(ps.broker(1)->table_size(), 1u);
+
+  // Sibling still delivers (not stranded)...
+  ps.publish(6, temp_event("temp", 50.0, "b"));
+  f.sched.run();
+  EXPECT_EQ(narrow, 1);
+  EXPECT_EQ(wide, 1);
+  // ...and the hull actually shrank: events only the departed member
+  // wanted are now pruned at the publisher's edge broker and never
+  // cross the interior of the chain.
+  const auto routed_before = ps.broker(1)->stats().publications_routed;
+  ps.publish(6, temp_event("temp", 5.0, "c"));
+  f.sched.run();
+  EXPECT_EQ(wide, 1);
+  EXPECT_EQ(narrow, 1);
+  EXPECT_EQ(ps.broker(1)->stats().publications_routed, routed_before);
+
+  // Retraction: the last member leaving removes the upstream entry.
+  ps.unsubscribe(3, narrow_id);
+  f.sched.run();
+  EXPECT_EQ(ps.broker(1)->table_size(), 0u);
+  EXPECT_EQ(ps.broker(2)->table_size(), 0u);
+  EXPECT_GT(ps.total_broker_stats().aggregate_retractions, before.aggregate_retractions);
+}
+
+// --- 3. End-to-end oracles -------------------------------------------------
+
+// Per-client sorted delivery digest (duplicates show as repeated keys).
+using Digest = std::map<sim::HostId, std::vector<std::string>>;
+
+sim::ReliableParams chaos_reliable_params() {
+  sim::ReliableParams rp;
+  rp.initial_rto = duration::millis(40);
+  rp.backoff = 2.0;
+  rp.max_rto = duration::seconds(1);
+  rp.max_retries = 30;
+  return rp;
+}
+
+struct AggScenarioResult {
+  Digest digest;
+  std::uint64_t deliveries = 0;
+  std::uint64_t give_ups = 0;
+  std::uint64_t incarnation_give_ups = 0;
+  std::uint64_t dropped_by_fault = 0;
+  std::size_t transit_entries = 0;
+  std::size_t stalled_left = 0;
+  pubsub::BrokerStats broker;
+};
+
+// The chaos harness from tests/chaos_test.cpp, with two twists: the
+// overlay can run in aggregation mode, and broker 1 (an interior broker
+// with NO co-located client, so its crash cannot eat deliveries of its
+// own host) can crash mid-run and recover from PR 6 checkpoints.
+AggScenarioResult run_agg_scenario(bool aggregated, bool reliable,
+                                   std::function<void(sim::Network&, sim::Scheduler&)> mutate,
+                                   bool crash, std::uint64_t seed) {
+  AggScenarioResult result;
+  sim::Scheduler sched;
+  auto topo = std::make_shared<sim::UniformTopology>(8, duration::millis(5));
+  sim::Network net(sched, topo);
+  SienaNetwork ps(net, {0, 1, 2, 3, 4, 5, 6, 7});
+  ps.connect_tree(2);  // edges: 0-1, 0-2, 1-3, 1-4, 2-5, 2-6, 3-7
+  if (aggregated) ps.enable_aggregation(BrokerAggregationParams{"type", 4});
+  if (reliable) ps.enable_reliable_transport(chaos_reliable_params());
+  sim::DiskParams dp;
+  dp.fsync_latency = duration::millis(5);
+  dp.seed = seed * 7 + 3;
+  sim::DurableDisk disk(net, dp);
+  sim::ChurnInjector churn(net, {});
+  if (crash) {
+    ps.enable_broker_checkpoints(disk);
+    ps.attach_churn(churn);
+  }
+
+  // Clients co-located with every broker except the crash victim.
+  std::vector<sim::HostId> client_hosts{0, 2, 3, 4, 5, 6, 7};
+  Digest& digest = result.digest;
+  for (sim::HostId h : client_hosts) {
+    digest[h];
+    ps.attach_client(h, h);
+    ps.subscribe(h, Filter().where("type", Op::kEq, "t" + std::to_string(h % 4)),
+                 [&digest, h](const Event& e) {
+                   digest[h].push_back(e.get_string("key").value_or("?"));
+                 });
+  }
+  sched.run();  // quiesce subscriptions on a clean network
+  net.reset_stats();
+
+  if (mutate) mutate(net, sched);
+  if (crash) {
+    sched.after(duration::millis(420) + duration::micros(137),
+                [&churn] { churn.kill(1, /*graceful=*/false); });
+    sched.after(duration::millis(560), [&churn] { churn.revive(1); });
+  }
+
+  // 7 publishers x 25 rounds, one publish every 5 ms (runs ~5-880 ms,
+  // spanning both partition windows and the crash).
+  for (int r = 0; r < 25; ++r) {
+    for (std::size_t i = 0; i < client_hosts.size(); ++i) {
+      const sim::HostId p = client_hosts[i];
+      const SimDuration when = duration::millis(5) * static_cast<SimDuration>(
+                                   r * static_cast<int>(client_hosts.size()) +
+                                   static_cast<int>(i) + 1);
+      sched.after(when, [&ps, p, r] {
+        Event e("t" + std::to_string((static_cast<int>(p) + r) % 4));
+        e.set("key", "p" + std::to_string(p) + "r" + std::to_string(r));
+        ps.publish(p, e);
+      });
+    }
+  }
+  sched.run();
+
+  for (const auto& [h, keys] : digest) result.deliveries += keys.size();
+  for (auto& [h, keys] : digest) std::sort(keys.begin(), keys.end());
+  if (ps.reliable_transport() != nullptr) {
+    result.give_ups = ps.reliable_transport()->stats().give_ups;
+    result.incarnation_give_ups = ps.reliable_transport()->stats().incarnation_give_ups;
+  }
+  result.dropped_by_fault = net.stats().dropped_by_fault;
+  result.transit_entries = ps.total_transit_entries();
+  result.stalled_left = ps.stalled_packets();
+  result.broker = ps.total_broker_stats();
+  return result;
+}
+
+void install_chaos(std::uint64_t seed, sim::Network& net, sim::Scheduler& sched) {
+  sim::LinkFaults faults;
+  faults.drop = 0.10;
+  faults.duplicate = 0.05;
+  faults.reorder = 0.10;
+  faults.jitter = duration::millis(2);
+  faults.seed = seed;
+  net.set_link_faults(faults);
+  sched.after(duration::millis(200),
+              [&net] { net.partition("cut-a", {0, 1, 3, 4, 7}, {2, 5, 6}); });
+  sched.after(duration::millis(500), [&net] { net.heal("cut-a"); });
+  sched.after(duration::millis(600),
+              [&net] { net.partition("cut-b", {0, 2, 5, 6}, {1, 3, 4, 7}); });
+  sched.after(duration::millis(900), [&net] { net.heal("cut-b"); });
+}
+
+TEST(AggregationChaos, CleanRunMatchesUnaggregatedOracle) {
+  const AggScenarioResult oracle =
+      run_agg_scenario(/*aggregated=*/false, /*reliable=*/false, nullptr, false, 1);
+  // 175 events, each type matching 1-2 of the 7 subscribers.
+  ASSERT_GT(oracle.deliveries, 0u);
+  const AggScenarioResult agg =
+      run_agg_scenario(/*aggregated=*/true, /*reliable=*/false, nullptr, false, 1);
+  EXPECT_EQ(agg.digest, oracle.digest);
+  EXPECT_GT(agg.broker.aggregate_updates, 0u);
+  // Merging compresses interior routing state on the same workload.
+  EXPECT_LE(agg.transit_entries, oracle.transit_entries);
+}
+
+TEST(AggregationChaos, SeedSweepWithCrashRecoverMatchesOracle) {
+  // The tentpole no-lost-delivery proof: 21 chaos seeds with 10% link
+  // loss, duplication, reordering, two partition windows AND a mid-run
+  // crash/recover of interior broker 1 — the aggregated overlay must
+  // reproduce the unaggregated fault-free oracle digest bit-for-bit.
+  const AggScenarioResult oracle =
+      run_agg_scenario(/*aggregated=*/false, /*reliable=*/false, nullptr, false, 1);
+  for (std::uint64_t seed = 1; seed <= 21; ++seed) {
+    const AggScenarioResult chaos = run_agg_scenario(
+        /*aggregated=*/true, /*reliable=*/true,
+        [seed](sim::Network& net, sim::Scheduler& sched) { install_chaos(seed, net, sched); },
+        /*crash=*/true, seed);
+    EXPECT_EQ(chaos.digest, oracle.digest) << "seed " << seed;
+    // Every transport give-up was an incarnation change (the crash),
+    // never retry exhaustion, and everything parked was re-flushed.
+    EXPECT_EQ(chaos.give_ups, chaos.incarnation_give_ups) << "seed " << seed;
+    EXPECT_EQ(chaos.stalled_left, 0u) << "seed " << seed;
+    // The run was not vacuous: faults dropped packets, the broker
+    // actually crashed, recovered from its checkpoint, and re-merged.
+    EXPECT_GT(chaos.dropped_by_fault, 0u) << "seed " << seed;
+    EXPECT_GE(chaos.broker.recoveries, 1u) << "seed " << seed;
+    EXPECT_GT(chaos.broker.aggregate_updates, 0u) << "seed " << seed;
+  }
+}
+
+// --- Shard router ----------------------------------------------------------
+
+TEST(ShardRouter, PinnedAndWildcardRoutingIsExactlyOnce) {
+  BusFixture f(16);
+  std::vector<sim::HostId> brokers{0, 1, 2, 3};
+  pubsub::ShardRouterParams params;
+  params.partition_attribute = "topic";
+  params.shards = 2;
+  params.aggregation = true;
+  pubsub::BrokerShardRouter router(f.net, brokers, params);
+  ASSERT_EQ(router.shard_count(), 2u);
+
+  int pinned = 0, wildcard = 0;
+  router.attach_client(10);
+  router.attach_client(11);
+  router.subscribe(10, Filter().where("topic", Op::kEq, "k0"),
+                   [&pinned](const Event&) { ++pinned; });
+  const auto wild_id = router.subscribe(
+      10, Filter().where("value", Op::kGt, 5.0), [&wildcard](const Event&) { ++wildcard; });
+  f.sched.run();
+  EXPECT_EQ(router.stats().pinned_subscriptions, 1u);
+  EXPECT_EQ(router.stats().broadcast_subscriptions, 1u);
+
+  // A pinned event lands on one shard; both the pinned subscriber and
+  // the wildcard subscriber see it exactly once.
+  Event e0("reading");
+  e0.set("topic", "k0");
+  e0.set("value", 7.0);
+  router.publish(11, e0);
+  f.sched.run();
+  EXPECT_EQ(pinned, 1);
+  EXPECT_EQ(wildcard, 1);
+
+  // A different partition: the pinned subscriber is not on that shard,
+  // the wildcard one is (it is everywhere) — still exactly once.
+  Event e1("reading");
+  e1.set("topic", "k1");
+  e1.set("value", 9.0);
+  router.publish(11, e1);
+  f.sched.run();
+  EXPECT_EQ(pinned, 1);
+  EXPECT_EQ(wildcard, 2);
+
+  // An event without the partition attribute routes to shard 0 only —
+  // wildcard subscribers still see it exactly once.
+  Event e2("reading");
+  e2.set("value", 11.0);
+  router.publish(11, e2);
+  f.sched.run();
+  EXPECT_EQ(wildcard, 3);
+  EXPECT_EQ(router.stats().pinned_publishes, 2u);
+  EXPECT_EQ(router.stats().unpinned_publishes, 1u);
+
+  router.unsubscribe(10, wild_id);
+  f.sched.run();
+  router.publish(11, e2);
+  f.sched.run();
+  EXPECT_EQ(wildcard, 3);  // unsubscribed on every shard
+}
+
+struct ShardCrashResult {
+  Digest digest;
+  std::uint64_t deliveries = 0;
+  std::vector<std::uint64_t> recovered_per_shard;
+  std::uint64_t recoveries = 0;
+};
+
+// Shard-crash during Zipf hotspot load: 3 shards, each a 3-broker chain
+// with clients split across the chain ends so cross-end deliveries
+// transit the middle broker.  The crash victim is the middle broker of
+// the shard owning the hottest partition.
+ShardCrashResult run_shard_crash_scenario(bool crash, std::uint64_t seed) {
+  ShardCrashResult result;
+  sim::Scheduler sched;
+  auto topo = std::make_shared<sim::UniformTopology>(15, duration::millis(5));
+  sim::Network net(sched, topo);
+  std::vector<sim::HostId> brokers{0, 1, 2, 3, 4, 5, 6, 7, 8};
+  pubsub::ShardRouterParams params;
+  params.partition_attribute = "topic";
+  params.shards = 3;
+  params.tree_fanout = 1;  // each shard is a chain: (3s) - (3s+1) - (3s+2)
+  params.aggregation = true;
+  params.aggregation_groups = 4;
+  pubsub::BrokerShardRouter router(net, brokers, params);
+  router.enable_reliable_transport(chaos_reliable_params());
+  sim::DiskParams dp;
+  dp.fsync_latency = duration::millis(5);
+  dp.seed = seed * 7 + 3;
+  sim::DurableDisk disk(net, dp);
+  router.enable_broker_checkpoints(disk);
+  sim::ChurnInjector churn(net, {});
+  router.attach_churn(churn);
+
+  // Clients 9..14: even clients at each chain's front broker, odd at
+  // the back — the middle broker is pure transit.
+  Digest& digest = result.digest;
+  for (sim::HostId c = 9; c <= 14; ++c) {
+    digest[c];
+    for (std::size_t s = 0; s < router.shard_count(); ++s) {
+      router.shard(s).attach_client(
+          c, static_cast<sim::HostId>(3 * s + (c % 2 == 0 ? 0 : 2)));
+    }
+  }
+  // Each client subscribes to two topics with a value window.
+  Rng sub_rng(0x57AB5u);  // workload identical across oracle/crash runs
+  for (sim::HostId c = 9; c <= 14; ++c) {
+    for (int k = 0; k < 2; ++k) {
+      const std::string topic = "k" + std::to_string(sub_rng.below(8));
+      const double lo = static_cast<double>(sub_rng.below(5)) * 10.0;
+      router.subscribe(c, Filter()
+                              .where("topic", Op::kEq, topic)
+                              .where("value", Op::kGe, lo)
+                              .where("value", Op::kLe, lo + 30.0),
+                       [&digest, c](const Event& e) {
+                         digest[c].push_back(e.get_string("key").value_or("?"));
+                       });
+    }
+  }
+  sched.run();  // quiesce
+  net.reset_stats();
+
+  // The hottest partition is the Zipf head "k0"; crash the middle
+  // broker of the shard that owns it, mid-load.
+  const std::size_t hot_shard = router.shard_of_value(AttrValue("k0"));
+  const sim::HostId victim = static_cast<sim::HostId>(3 * hot_shard + 1);
+  if (crash) {
+    sched.after(duration::millis(402) + duration::micros(337),
+                [&churn, victim] { churn.kill(victim, /*graceful=*/false); });
+    sched.after(duration::millis(752), [&churn, victim] { churn.revive(victim); });
+  }
+
+  // Zipf hotspot publish load: 25 rounds x 6 publishers every 5 ms.
+  ZipfSampler zipf(8, 1.0);
+  Rng pub_rng(0xB0B5u);  // same schedule in both runs
+  for (int r = 0; r < 25; ++r) {
+    for (sim::HostId p = 9; p <= 14; ++p) {
+      const std::string topic = "k" + std::to_string(zipf.sample(pub_rng));
+      const double value = static_cast<double>(pub_rng.below(80));
+      const std::string key =
+          "p" + std::to_string(p) + "r" + std::to_string(r);
+      const SimDuration when = duration::millis(5) * static_cast<SimDuration>(
+                                   r * 6 + static_cast<int>(p) - 8);
+      sched.after(when, [&router, p, topic, value, key] {
+        Event e("reading");
+        e.set("topic", topic);
+        e.set("value", value);
+        e.set("key", key);
+        router.publish(p, e);
+      });
+    }
+  }
+  sched.run();
+
+  for (const auto& [h, keys] : digest) result.deliveries += keys.size();
+  for (auto& [h, keys] : digest) std::sort(keys.begin(), keys.end());
+  for (std::size_t s = 0; s < router.shard_count(); ++s) {
+    const pubsub::BrokerStats stats = router.shard(s).total_broker_stats();
+    result.recovered_per_shard.push_back(stats.recovered_entries);
+    result.recoveries += stats.recoveries;
+  }
+  return result;
+}
+
+TEST(ShardRouter, ShardCrashDuringZipfHotspotRecoversToOracle) {
+  const ShardCrashResult oracle = run_shard_crash_scenario(/*crash=*/false, 1);
+  ASSERT_GT(oracle.deliveries, 0u);
+  ASSERT_EQ(oracle.recoveries, 0u);
+
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const ShardCrashResult crash = run_shard_crash_scenario(/*crash=*/true, seed);
+    // Bit-exact delivery digest despite losing the hot shard's interior
+    // broker mid-load.
+    EXPECT_EQ(crash.digest, oracle.digest) << "seed " << seed;
+    EXPECT_GE(crash.recoveries, 1u) << "seed " << seed;
+    // Only the crashed shard's brokers restored entries; sibling shards
+    // never noticed.
+    std::size_t shards_touched = 0;
+    for (std::size_t s = 0; s < crash.recovered_per_shard.size(); ++s) {
+      if (crash.recovered_per_shard[s] > 0) ++shards_touched;
+    }
+    EXPECT_EQ(shards_touched, 1u) << "seed " << seed;
+    EXPECT_EQ(oracle.recovered_per_shard, std::vector<std::uint64_t>(3, 0u));
+  }
+}
+
+}  // namespace
+}  // namespace aa

@@ -262,6 +262,50 @@ TEST(Siena, UnsubscribeReforwardsOnlyUncoveredSubscriptions) {
   EXPECT_EQ(narrow, 1);
 }
 
+TEST(Siena, UnsubscribeReforwardBatchIsOrderIndependent) {
+  // Batch-invariant regression: when a covering filter departs, the
+  // newly-uncovered subscriptions must be re-forwarded as one batch of
+  // covering-maximal filters.  Here the *narrow* subscription holds the
+  // lower id, so a per-entry re-forward loop walking the table in id
+  // order would forward it first and then forward the mid one as well
+  // (narrow does not cover mid) — two sends and a stranded narrow entry
+  // upstream, where one send suffices.
+  Fixture f;
+  SienaNetwork ps(f.net, {0, 1});
+  ps.connect_tree();
+  ps.attach_client(10, 0);
+  ps.attach_client(12, 1);
+  int wide = 0, mid = 0, narrow = 0;
+  const auto wide_id =
+      ps.subscribe(10, Filter().where("celsius", Op::kGt, 0.0), [&](const Event&) { ++wide; });
+  f.sched.run();
+  ps.subscribe(10, Filter().where("celsius", Op::kGt, 20.0), [&](const Event&) { ++narrow; });
+  ps.subscribe(10, Filter().where("celsius", Op::kGt, 10.0), [&](const Event&) { ++mid; });
+  f.sched.run();
+  EXPECT_EQ(ps.broker(1)->table_size(), 1u);  // only the widest forwarded
+
+  const auto before = ps.total_broker_stats();
+  ps.unsubscribe(10, wide_id);
+  f.sched.run();
+  const auto after = ps.total_broker_stats();
+  // One re-forward (the mid filter), and the narrow sibling counted as
+  // suppressed — it rides along under mid exactly as if mid had been
+  // installed first.
+  EXPECT_EQ(ps.broker(1)->table_size(), 1u);
+  EXPECT_EQ(after.subscriptions_forwarded - before.subscriptions_forwarded, 1u);
+  EXPECT_EQ(after.subscriptions_suppressed - before.subscriptions_suppressed, 1u);
+
+  ps.publish(12, temp_event(15.0));
+  f.sched.run();
+  EXPECT_EQ(wide, 0);
+  EXPECT_EQ(mid, 1);
+  EXPECT_EQ(narrow, 0);
+  ps.publish(12, temp_event(25.0));
+  f.sched.run();
+  EXPECT_EQ(mid, 2);
+  EXPECT_EQ(narrow, 1);
+}
+
 TEST(Siena, IndexedMatchingMatchesNaiveOracle) {
   // The FilterIndex path and the linear-scan oracle must produce the
   // same deliveries for the same workload, at a fraction of the filter
