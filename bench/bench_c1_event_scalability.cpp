@@ -15,6 +15,7 @@
 
 #include "bench_util.hpp"
 #include "obs/metrics_hub.hpp"
+#include "obs/profiler.hpp"
 #include "sim/metrics.hpp"
 #include "pubsub/central_service.hpp"
 #include "pubsub/flooding_network.hpp"
@@ -34,6 +35,7 @@ struct RunResult {
   double mean_latency_ms = 0;
   std::uint64_t delivered = 0;
   sim::NetworkStats net;  // full counters, incl. fault/retry columns
+  std::vector<obs::Profiler::SlotCounters> slots;  // per-shard profile (when profiled)
 };
 
 struct Workload {
@@ -47,7 +49,8 @@ struct Workload {
 /// ~1/8 of subscribers match each event.  `threads` > 1 drives the run
 /// on the sharded scheduler (broker modes only: the scribe mode rides
 /// the overlay, which runs sequentially).
-RunResult run(const Workload& w, const std::string& mode, unsigned threads = 1) {
+RunResult run(const Workload& w, const std::string& mode, unsigned threads = 1,
+              bool profiling = false) {
   sim::Scheduler sched;
   const std::size_t hosts =
       static_cast<std::size_t>(w.brokers + w.subscribers + w.publishers);
@@ -55,6 +58,7 @@ RunResult run(const Workload& w, const std::string& mode, unsigned threads = 1) 
   tp.regions = 8;
   auto topo = std::make_shared<sim::TransitStubTopology>(hosts, tp);
   sim::Network net(sched, topo);
+  if (profiling) net.enable_profiling();
   if (threads > 1 && mode != "scribe") net.set_threads(threads);
 
   std::vector<sim::HostId> broker_hosts;
@@ -141,6 +145,11 @@ RunResult run(const Workload& w, const std::string& mode, unsigned threads = 1) 
     r.hotspot = std::max(r.hotspot, net.delivered_to(h));
   }
   r.mean_latency_ms = latency.mean();
+  if (const obs::Profiler* prof = net.profiler()) {
+    for (std::uint32_t slot = 0; slot < prof->slot_count(); ++slot) {
+      r.slots.push_back(prof->counters(slot));
+    }
+  }
   return r;
 }
 
@@ -189,9 +198,10 @@ int main(int argc, char** argv) {
     bench::Table t({"threads", "wall ms", "speedup", "delivered", "messages"});
     double base_ms = 0;
     std::uint64_t base_delivered = 0, base_messages = 0;
+    std::vector<std::pair<unsigned, std::vector<obs::Profiler::SlotCounters>>> profiles;
     for (unsigned threads : {1u, 2u, 4u}) {
       const auto t0 = std::chrono::steady_clock::now();
-      const auto r = run(w, "siena", threads);
+      const auto r = run(w, "siena", threads, /*profiling=*/true);
       const double ms = std::chrono::duration<double, std::milli>(
                             std::chrono::steady_clock::now() - t0)
                             .count();
@@ -211,6 +221,39 @@ int main(int argc, char** argv) {
                static_cast<std::uint64_t>(ms * 1000.0));
       snap.add(bench::fmt("scaling.threads%u.delivered", threads), r.delivered);
       snap.add_scaled(bench::fmt("scaling.threads%u.speedup", threads), speedup);
+      // Per-shard wall-clock attribution (profiler): where each shard's
+      // time goes — busy in tasks, parked at the epoch barrier, inside
+      // the shared-timestamp serialization point, or merging outboxes.
+      for (std::size_t slot = 0; slot < r.slots.size(); ++slot) {
+        const auto& c = r.slots[slot];
+        const bool global = r.slots.size() > 1 && slot + 1 == r.slots.size();
+        const std::string label = global ? "global" : bench::fmt("shard%zu", slot);
+        const std::string prefix =
+            bench::fmt("scaling.threads%u.", threads) + label;
+        snap.add(prefix + ".tasks", c.tasks);
+        snap.add(prefix + ".busy_us", c.busy_ns / 1000);
+        snap.add(prefix + ".barrier_wait_us", c.barrier_wait_ns / 1000);
+        snap.add(prefix + ".serialization_us", c.serialization_ns / 1000);
+        snap.add(prefix + ".merge_us", c.merge_ns / 1000);
+      }
+      profiles.emplace_back(threads, r.slots);
+    }
+    std::printf("\n    Per-shard profile (wall-clock attribution; the barrier column is\n"
+                "    the cost of conservative synchronisation, DESIGN.md §7):\n");
+    bench::Table prof_table(
+        {"threads", "shard", "tasks", "busy us", "barrier us", "serial us", "merge us"});
+    for (const auto& [threads, slots] : profiles) {
+      for (std::size_t slot = 0; slot < slots.size(); ++slot) {
+        const auto& c = slots[slot];
+        const bool global = slots.size() > 1 && slot + 1 == slots.size();
+        prof_table.row({bench::fmt("%u", threads),
+                        global ? "global" : bench::fmt("%zu", slot),
+                        bench::fmt("%llu", (unsigned long long)c.tasks),
+                        bench::fmt("%llu", (unsigned long long)(c.busy_ns / 1000)),
+                        bench::fmt("%llu", (unsigned long long)(c.barrier_wait_ns / 1000)),
+                        bench::fmt("%llu", (unsigned long long)(c.serialization_ns / 1000)),
+                        bench::fmt("%llu", (unsigned long long)(c.merge_ns / 1000))});
+      }
     }
     snap.add("scaling.hardware_threads", std::thread::hardware_concurrency());
     std::printf("(speedup is bounded by the machine: %u hardware thread(s) here — on a\n"

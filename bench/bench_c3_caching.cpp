@@ -94,6 +94,7 @@ RunResult run(const Setup& setup, int objects, int reads) {
 int main(int argc, char** argv) {
   bench::headline("C3 (§4.5)", "promiscuous caching + replication vs fetching remote data "
                                "at every access");
+  bench::Snapshot snap("c3", argc, argv);
   const unsigned threads = bench::threads_arg(argc, argv);
   if (threads > 1) {
     std::printf("(--threads %u requested: this bench exercises subsystems pinned to the\n"
@@ -112,6 +113,11 @@ int main(int argc, char** argv) {
     cache_table.row({cache ? "promiscuous" : "off", bench::fmt("%.1f", r.mean_ms),
                      bench::fmt("%.1f", r.p95_ms), bench::fmt("%.0f%%", r.local_fraction * 100),
                      bench::fmt("%llu", (unsigned long long)r.bytes)});
+    const std::string key = cache ? "cache.promiscuous" : "cache.off";
+    snap.add_scaled(key + ".mean_ms", r.mean_ms);
+    snap.add_scaled(key + ".p95_ms", r.p95_ms);
+    snap.add_scaled(key + ".local_fraction", r.local_fraction);
+    snap.add(key + ".bytes", r.bytes);
   }
 
   std::printf("\n(b) Replica-count sweep (caching off, isolating placement):\n");
@@ -123,6 +129,8 @@ int main(int argc, char** argv) {
     const auto r = run(s, objects, reads);
     rep_table.row({bench::fmt("%d", k), bench::fmt("%.1f", r.mean_ms),
                    bench::fmt("%.1f", r.p95_ms)});
+    snap.add_scaled(bench::fmt("replicas%d.mean_ms", k), r.mean_ms);
+    snap.add_scaled(bench::fmt("replicas%d.p95_ms", k), r.p95_ms);
   }
 
   std::printf("\n(c) Redundancy scheme at ~1.5x overhead: 3 whole copies vs 4+2 erasure:\n");
@@ -140,6 +148,10 @@ int main(int argc, char** argv) {
     const auto r2 = run(ec, objects, reads);
     ec_table.row({"4+2 erasure", bench::fmt("%.1f", r2.mean_ms), bench::fmt("%.1f", r2.p95_ms),
                   bench::fmt("%llu", (unsigned long long)r2.bytes)});
+    snap.add_scaled("redundancy.whole.mean_ms", r1.mean_ms);
+    snap.add("redundancy.whole.bytes", r1.bytes);
+    snap.add_scaled("redundancy.erasure.mean_ms", r2.mean_ms);
+    snap.add("redundancy.erasure.bytes", r2.bytes);
   }
 
   std::printf("\nShape check: promiscuous caching collapses hot-object latency\n"
@@ -147,5 +159,5 @@ int main(int argc, char** argv) {
               "shorten the route to the nearest copy; erasure coding trades\n"
               "storage overhead for a fragment-gather on every cold read —\n"
               "cheap to store, slower to fetch, as the paper's spectrum implies.\n");
-  return 0;
+  return snap.write() ? 0 : 1;
 }

@@ -312,7 +312,7 @@ int main(int argc, char** argv) {
                 " 1 shard; see DESIGN.md on scheduler sharding)\n",
                 threads);
   }
-  bench::Snapshot snap("c4_self_healing", argc, argv);
+  bench::Snapshot snap("c4", argc, argv);
 
   bench::Table table({"departure s", "healing", "availability", "copies mean", "copies min",
                       "heal pushes"});

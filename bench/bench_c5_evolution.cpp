@@ -134,6 +134,7 @@ int main(int argc, char** argv) {
   bench::headline("C5 (§4.4)",
                   "evolution engine: restoring violated placement constraints "
                   "(\">= 5 components in a given region\")");
+  bench::Snapshot snap("c5", argc, argv);
   const unsigned threads = bench::threads_arg(argc, argv);
   if (threads > 1) {
     std::printf("(--threads %u requested: this bench exercises subsystems pinned to the\n"
@@ -150,6 +151,11 @@ int main(int argc, char** argv) {
     mode_table.row({graceful ? "graceful" : "crash", bench::fmt("%d/%d", r.repaired, r.violations),
                     bench::fmt("%.1f", r.mean_repair_s), bench::fmt("%.1f", r.p95_repair_s),
                     bench::fmt("%llu", (unsigned long long)r.deployments)});
+    const std::string key = graceful ? "departure.graceful" : "departure.crash";
+    snap.add(key + ".violations", static_cast<std::uint64_t>(r.violations));
+    snap.add(key + ".repaired", static_cast<std::uint64_t>(r.repaired));
+    snap.add_scaled(key + ".repair_s_mean", r.mean_repair_s);
+    snap.add(key + ".deployments", r.deployments);
   }
 
   std::printf("\n(b) Failure-monitor probe-period ablation (silent crashes — detection\n"
@@ -159,11 +165,13 @@ int main(int argc, char** argv) {
     const auto r = run(false, duration::seconds(10), probe, 6);
     period_table.row({bench::fmt("%lld", (long long)(probe / 1000000)),
                       bench::fmt("%.1f", r.mean_repair_s), bench::fmt("%.1f", r.p95_repair_s)});
+    snap.add_scaled(bench::fmt("probe%llds.repair_s_mean", (long long)(probe / 1000000)),
+                    r.mean_repair_s);
   }
 
   std::printf("\nShape check: every violation is repaired; graceful departures\n"
               "repair fastest (the withdrawal event triggers reactive repair),\n"
               "while silent crashes add the failure monitor's detection lag,\n"
               "which scales with the probe period.\n");
-  return 0;
+  return snap.write() ? 0 : 1;
 }

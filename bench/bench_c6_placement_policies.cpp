@@ -92,6 +92,7 @@ struct Fixture {
 
 int main(int argc, char** argv) {
   bench::headline("C6 (§4.6)", "data placement policies: latency reduction + remote backup");
+  bench::Snapshot snap("c6", argc, argv);
   const unsigned threads = bench::threads_arg(argc, argv);
   if (threads > 1) {
     std::printf("(--threads %u requested: this bench exercises subsystems pinned to the\n"
@@ -150,6 +151,9 @@ int main(int argc, char** argv) {
     }
     table.row({bench::fmt("%d", dwell_minutes), bench::fmt("%.1f", off_ms),
                bench::fmt("%.1f", on_ms), bench::fmt("%llu", (unsigned long long)migrations)});
+    snap.add_scaled(bench::fmt("latency.dwell%dm.off_ms", dwell_minutes), off_ms);
+    snap.add_scaled(bench::fmt("latency.dwell%dm.on_ms", dwell_minutes), on_ms);
+    snap.add(bench::fmt("latency.dwell%dm.migrations", dwell_minutes), migrations);
   }
 
   std::printf("\n(b) Backup policy: origin region r0 fails entirely; is the data still\n"
@@ -200,11 +204,14 @@ int main(int argc, char** argv) {
     }
     backup_table.row({enabled ? "on" : "off", bench::fmt("%d", survived),
                       bench::fmt("%zu", ids.size())});
+    const std::string key = enabled ? "backup.on" : "backup.off";
+    snap.add(key + ".survived", static_cast<std::uint64_t>(survived));
+    snap.add(key + ".objects", ids.size());
   }
 
   std::printf("\nShape check: the longer the user dwells, the more of their data\n"
               "is region-local and the lower the read latency (policy on), while\n"
               "policy-off latency stays at the wide-area cost; with the backup\n"
               "policy, data survives the loss of its entire origin region.\n");
-  return 0;
+  return snap.write() ? 0 : 1;
 }

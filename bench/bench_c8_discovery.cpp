@@ -23,6 +23,7 @@ using namespace aa;
 int main(int argc, char** argv) {
   bench::headline("C8 (§5)", "discovery matchlets: unknown event types fetch their own "
                              "handler code from storage");
+  bench::Snapshot snap("c8", argc, argv);
   const unsigned threads = bench::threads_arg(argc, argv);
   if (threads > 1) {
     std::printf("(--threads %u requested: this bench exercises subsystems pinned to the\n"
@@ -121,8 +122,13 @@ int main(int argc, char** argv) {
               "mean time-to-handle: %.0f s (sampling granularity 20 s)\n",
               (unsigned long long)discovery.stats().handlers_deployed, kTypes, unknown_events,
               handled_events, tth.mean());
+  snap.add("handlers_deployed", discovery.stats().handlers_deployed);
+  snap.add("types", static_cast<std::uint64_t>(kTypes));
+  snap.add("events_unknown", static_cast<std::uint64_t>(unknown_events));
+  snap.add("events_handled", static_cast<std::uint64_t>(handled_events));
+  snap.add_scaled("time_to_handle_s_mean", tth.mean());
   std::printf("\nShape check: every novel type converges to a deployed handler\n"
               "within one sighting + fetch + push round; only the debut events\n"
               "of each type go unhandled.\n");
-  return 0;
+  return snap.write() ? 0 : 1;
 }

@@ -68,8 +68,9 @@ double wall_us(const std::chrono::steady_clock::time_point& start) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::headline("C9 (§3)", "type projection: binding typed views to partially-specified XML");
+  bench::Snapshot snap("c9", argc, argv);
 
   const int docs = 2000;
   bench::Table table({"noise elems", "doc bytes", "parse us/doc", "project us/doc",
@@ -126,6 +127,10 @@ int main() {
     table.row({bench::fmt("%d", noise), bench::fmt("%zu", bytes / docs),
                bench::fmt("%.2f", parse_us), bench::fmt("%.2f", project_us),
                bench::fmt("%.2f", manual_us), bench::fmt("%d/%d", ok, docs)});
+    snap.add(bench::fmt("noise%d.doc_bytes", noise), bytes / docs);
+    snap.add(bench::fmt("noise%d.projected_ok", noise), static_cast<std::uint64_t>(ok));
+    snap.add_scaled(bench::fmt("noise%d.parse_us_per_doc", noise), parse_us);
+    snap.add_scaled(bench::fmt("noise%d.project_us_per_doc", noise), project_us);
     if (ok != docs || manual_ok != docs) {
       std::printf("!! projection robustness violated at noise=%d\n", noise);
       return 1;
@@ -136,5 +141,5 @@ int main() {
               "noise level (the partial-specification property); its cost tracks\n"
               "the island size, not the document size, and stays within a small\n"
               "factor of a hand-written extraction while remaining declarative.\n");
-  return 0;
+  return snap.write() ? 0 : 1;
 }

@@ -128,6 +128,7 @@ int main(int argc, char** argv) {
   const std::string trace_path = bench::trace_arg(argc, argv);
   bench::headline("F1 (Figure 1)",
                   "global matching: high-volume input distilled to few meaningful events");
+  bench::Snapshot snap("fig1", argc, argv);
   bench::Table table({"users", "events in", "meaningful", "distil ratio", "lat ms (mean)",
                       "lat ms (p95)", "net msgs"});
   bool traced = false;
@@ -144,8 +145,13 @@ int main(int argc, char** argv) {
                                         : 0.0),
                bench::fmt("%.1f", r.mean_latency_ms), bench::fmt("%.1f", r.p95_latency_ms),
                bench::fmt("%llu", (unsigned long long)r.network_messages)});
+    snap.add(bench::fmt("users%d.events_in", users), r.events_in);
+    snap.add(bench::fmt("users%d.meaningful_out", users), r.meaningful_out);
+    snap.add(bench::fmt("users%d.net_msgs", users), r.network_messages);
+    snap.add_scaled(bench::fmt("users%d.lat_ms_mean", users), r.mean_latency_ms);
+    snap.add_scaled(bench::fmt("users%d.lat_ms_p95", users), r.p95_latency_ms);
   }
   std::printf("\nShape check: distillation ratio >> 1 and grows with population;\n"
               "latency stays bounded as users scale (no central choke point).\n");
-  return 0;
+  return snap.write() ? 0 : 1;
 }

@@ -76,6 +76,7 @@ RunResult run(int depth, int split, int events, const std::string& trace_path = 
 int main(int argc, char** argv) {
   const std::string trace_path = bench::trace_arg(argc, argv);
   bench::headline("F2 (Figure 2)", "XML pipelines: intra-node vs inter-node event flow");
+  bench::Snapshot snap("fig2", argc, argv);
   const unsigned threads = bench::threads_arg(argc, argv);
   if (threads > 1) {
     std::printf("(--threads %u requested: this bench exercises subsystems pinned to the\n"
@@ -93,6 +94,10 @@ int main(int argc, char** argv) {
                      bench::fmt("%llu", (unsigned long long)r.intra),
                      bench::fmt("%llu", (unsigned long long)r.inter),
                      bench::fmt("%llu", (unsigned long long)r.wire_bytes)});
+    snap.add_scaled(bench::fmt("depth%d.latency_ms", depth), r.latency_ms);
+    snap.add(bench::fmt("depth%d.intra_hops", depth), r.intra);
+    snap.add(bench::fmt("depth%d.inter_hops", depth), r.inter);
+    snap.add(bench::fmt("depth%d.wire_bytes", depth), r.wire_bytes);
   }
 
   std::printf("\n(b) Split-point sweep at depth 8 (0 = all remote, 8 = all local):\n");
@@ -102,11 +107,13 @@ int main(int argc, char** argv) {
     split_table.row({bench::fmt("%d", split), bench::fmt("%.2f", r.latency_ms),
                      bench::fmt("%llu", (unsigned long long)r.inter),
                      bench::fmt("%llu", (unsigned long long)r.wire_bytes)});
+    snap.add_scaled(bench::fmt("split%d.latency_ms", split), r.latency_ms);
+    snap.add(bench::fmt("split%d.inter_hops", split), r.inter);
   }
 
   std::printf("\nShape check: latency is dominated by the number of inter-node\n"
               "crossings (exactly 1 for any interior split; 0 for an all-local\n"
               "chain), not by pipeline depth — components are cheap, the wire\n"
               "is not, which is why placement (F3/C5) matters.\n");
-  return 0;
+  return snap.write() ? 0 : 1;
 }

@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
   const std::string trace_path = bench::trace_arg(argc, argv);
   bench::headline("F3 (Figure 3)",
                   "code-push deployment: bundles -> thin servers -> assembled pipelines");
+  bench::Snapshot snap("fig3", argc, argv);
   const unsigned threads = bench::threads_arg(argc, argv);
   if (threads > 1) {
     std::printf("(--threads %u requested: this bench exercises subsystems pinned to the\n"
@@ -86,6 +87,11 @@ int main(int argc, char** argv) {
                bench::fmt("%.1f", to_millis(f.sched.now() - start)),
                bench::fmt("%.1f", ack.mean()),
                bench::fmt("%llu", (unsigned long long)f.net.stats().bytes_sent)});
+    snap.add(bench::fmt("fleet%d.installed", bundles), static_cast<std::uint64_t>(installed));
+    snap.add_scaled(bench::fmt("fleet%d.makespan_ms", bundles),
+                    to_millis(f.sched.now() - start));
+    snap.add_scaled(bench::fmt("fleet%d.ack_ms_mean", bundles), ack.mean());
+    snap.add(bench::fmt("fleet%d.bytes", bundles), f.net.stats().bytes_sent);
     sim::MetricsRegistry reg;
     obs::export_stats(reg, "net", f.net.stats());
     obs::export_stats(reg, "deploy", f.runtime.stats());
@@ -102,6 +108,7 @@ int main(int argc, char** argv) {
                     [&](Result<bundle::DeployResult>) { done_at = f.sched.now(); });
     f.sched.run();
     size_table.row({bench::fmt("%zu", payload), bench::fmt("%.1f", to_millis(done_at))});
+    snap.add_scaled(bench::fmt("payload%zu.ack_ms", payload), to_millis(done_at));
   }
 
   std::printf("\n(c) In-place evolution: version upgrades of a running component:\n");
@@ -157,5 +164,5 @@ int main(int argc, char** argv) {
   std::printf("\nShape check: makespan grows sub-linearly with fleet size (pushes\n"
               "overlap in flight); ack time scales with payload transfer; upgrades\n"
               "replace in place; forged or unauthorised bundles never run.\n");
-  return 0;
+  return snap.write() ? 0 : 1;
 }

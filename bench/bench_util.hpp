@@ -191,13 +191,15 @@ inline std::string trace_arg(int argc, char** argv) {
   return "";
 }
 
-/// Writes the network's collected trace as Chrome trace_event JSON,
-/// self-validates it and prints a one-line summary.  Returns false when
-/// tracing was never enabled or the validator rejects the output.
+/// Writes the network's combined Chrome/Perfetto export — trace spans
+/// (when tracing is on) plus profiler counter tracks (when profiling is
+/// on) — self-validates it and prints a one-line summary.  Returns
+/// false when neither collector is enabled or validation rejects the
+/// output.
 inline bool export_trace(const sim::Network& net, const std::string& path) {
   const obs::TraceCollector* tracer = net.tracer();
-  if (tracer == nullptr) {
-    std::printf("  trace: tracing was not enabled, nothing to export\n");
+  if (tracer == nullptr && net.profiler() == nullptr) {
+    std::printf("  trace: neither tracing nor profiling enabled, nothing to export\n");
     return false;
   }
   {
@@ -206,7 +208,7 @@ inline bool export_trace(const sim::Network& net, const std::string& path) {
       std::printf("  trace: cannot write %s\n", path.c_str());
       return false;
     }
-    tracer->write_chrome_json(out);
+    net.export_chrome_trace(out);
   }
   const auto problems = obs::validate_chrome_trace_file(path);
   if (!problems.empty()) {
@@ -216,8 +218,8 @@ inline bool export_trace(const sim::Network& net, const std::string& path) {
   }
   std::printf("  trace: wrote %s (%zu spans, %llu traces) — validated, load in "
               "Perfetto/chrome://tracing\n",
-              path.c_str(), tracer->spans().size(),
-              (unsigned long long)tracer->trace_count());
+              path.c_str(), tracer != nullptr ? tracer->spans().size() : 0,
+              tracer != nullptr ? (unsigned long long)tracer->trace_count() : 0ULL);
   return true;
 }
 

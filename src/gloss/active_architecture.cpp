@@ -136,6 +136,9 @@ ActiveArchitecture::ActiveArchitecture(Config config) : config_(config) {
     if (const obs::TraceCollector* tracer = net_->tracer()) {
       obs::export_trace_metrics(reg, "trace", *tracer);
     }
+    if (const obs::Profiler* prof = net_->profiler()) {
+      obs::export_profiler(reg, "sched", *prof);
+    }
   });
 
   sched_.run_for(config_.settle_time);
@@ -144,6 +147,11 @@ ActiveArchitecture::ActiveArchitecture(Config config) : config_(config) {
   // periodic maintenance from root context, which is cheapest to leave
   // on the sequential path.
   if (config_.threads > 1) net_->set_threads(config_.threads);
+
+  if (config_.profiling) net_->enable_profiling(config_.profiling_retention);
+  if (config_.timeline_interval > 0) {
+    hub_.start_timeline(sched_, config_.timeline_interval, config_.timeline_retention);
+  }
 }
 
 ActiveArchitecture::~ActiveArchitecture() { Logger::set_clock(nullptr); }

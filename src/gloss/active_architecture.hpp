@@ -83,6 +83,20 @@ class ActiveArchitecture {
     /// tables that only the sequential scheduler may touch (DESIGN.md,
     /// sharded scheduler — storage limitation).
     unsigned threads = 1;
+    /// Opt-in scheduler profiling (Network::enable_profiling): per-shard
+    /// wall-clock attribution exported under "sched.*" in snapshots and
+    /// as Perfetto counter tracks.  Observation-only — digests are
+    /// unchanged with it on.
+    bool profiling = false;
+    /// Ring-buffer cap on the profiler's periodic per-shard samples.
+    std::size_t profiling_retention = 4096;
+    /// When > 0, the metrics hub snapshots every subsystem's stats at
+    /// this virtual-time interval into a JSONL-exportable timeline.
+    /// The periodic sampler keeps the scheduler non-empty: drive time
+    /// with run_for(), not Scheduler::run().
+    SimDuration timeline_interval = 0;
+    /// Ring-buffer cap on retained timeline entries (oldest drop first).
+    std::size_t timeline_retention = 1024;
   };
 
   explicit ActiveArchitecture(Config config);
@@ -150,6 +164,16 @@ class ActiveArchitecture {
   /// hot path until then; see sim/network.hpp).
   void enable_tracing(std::uint64_t sample_every = 1) {
     net_->enable_tracing(sample_every);
+  }
+  /// Turns on per-shard scheduler profiling (see obs/profiler.hpp);
+  /// counters appear under "sched.*" in metrics snapshots.
+  void enable_profiling(std::size_t sample_retention = 4096) {
+    net_->enable_profiling(sample_retention);
+  }
+  /// Combined Chrome/Perfetto export: trace spans (if tracing) plus
+  /// profiler counter tracks (if profiling) in one trace-event JSON.
+  void export_chrome_trace(std::ostream& out) const {
+    net_->export_chrome_trace(out);
   }
   /// The hub snapshotting every subsystem's stats; extend it with
   /// add_source for application-level metrics.

@@ -16,12 +16,15 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <ostream>
 #include <string>
 #include <vector>
 
 #include "bundle/thin_server.hpp"
 #include "deploy/evolution.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "overlay/node.hpp"
 #include "pipeline/component.hpp"
@@ -30,6 +33,7 @@
 #include "pubsub/scribe.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/reliable.hpp"
 #include "storage/object_store.hpp"
 #include "storage/store_node.hpp"
@@ -202,9 +206,41 @@ inline void export_trace_metrics(sim::MetricsRegistry& reg, const std::string& n
   }
 }
 
+/// Scheduler profiler counters → "ns.total.*" plus per-slot
+/// "ns.slotN.*" keys.  Wall-clock nanoseconds are exported as integer
+/// microseconds (the registry holds integers, and bench tooling treats
+/// *_us keys as noisy).  Slot 0 is the global slot; slot h+1 is shard h.
+inline void export_profiler(sim::MetricsRegistry& reg, const std::string& ns,
+                            const Profiler& prof) {
+  auto emit = [&reg](const std::string& prefix, const Profiler::SlotCounters& c) {
+    reg.add(prefix + ".tasks", c.tasks);
+    reg.add(prefix + ".busy_us", c.busy_ns / 1000);
+    reg.add(prefix + ".barrier_wait_us", c.barrier_wait_ns / 1000);
+    reg.add(prefix + ".serialization_us", c.serialization_ns / 1000);
+    reg.add(prefix + ".merge_us", c.merge_ns / 1000);
+    for (std::size_t b = 0; b < kProfileBucketCount; ++b) {
+      reg.add(prefix + "." + std::string(bucket_name(static_cast<ProfileBucket>(b))) + "_us",
+              c.bucket_ns[b] / 1000);
+    }
+  };
+  emit(ns + ".total", prof.totals());
+  for (std::uint32_t s = 0; s < prof.slot_count(); ++s) {
+    emit(ns + ".slot" + std::to_string(s), prof.counters(s));
+  }
+}
+
 /// Collects (namespace, snapshot-function) pairs; snapshot() replays
 /// them into a fresh registry, so one hub built at setup time can be
 /// snapshotted repeatedly as the simulation advances.
+///
+/// The hub can also record a *timeline*: start_timeline() registers a
+/// periodic global task on the scheduler that snapshots every source at
+/// a fixed virtual-time interval into a ring buffer, giving counters as
+/// curves over virtual time instead of a single end-of-run total.  The
+/// periodic task reschedules itself forever, so drive the simulation
+/// with run_for()/run_until() (a bare run() would never drain) and call
+/// stop_timeline() — or let the destructor do it — before the scheduler
+/// is destroyed.
 class MetricsHub {
  public:
   using Source = std::function<void(sim::MetricsRegistry&)>;
@@ -234,8 +270,63 @@ class MetricsHub {
 
   std::size_t source_count() const { return sources_.size(); }
 
+  // --- Timeline sampling ---
+
+  /// One periodic snapshot: every source exported at virtual time `t`.
+  struct TimelineEntry {
+    SimTime t = 0;
+    sim::MetricsRegistry metrics;
+  };
+
+  /// Samples all sources every `interval` of virtual time (starting at
+  /// now + interval), keeping the most recent `retention` entries.
+  /// Root context only; restarts (cancels the previous task) if already
+  /// running.  The hub must not outlive `sched` while active.
+  void start_timeline(sim::Scheduler& sched, SimDuration interval,
+                      std::size_t retention = 1024) {
+    stop_timeline();
+    timeline_sched_ = &sched;
+    timeline_retention_ = retention == 0 ? 1 : retention;
+    timeline_task_ = sched.every(interval, [this] {
+      timeline_.push_back({timeline_sched_->now(), snapshot()});
+      while (timeline_.size() > timeline_retention_) timeline_.pop_front();
+    });
+  }
+
+  /// Cancels the periodic task (root context only).  Recorded entries
+  /// are kept; call clear_timeline() to drop them.
+  void stop_timeline() {
+    if (timeline_sched_ != nullptr) {
+      timeline_sched_->cancel(timeline_task_);
+      timeline_sched_ = nullptr;
+    }
+  }
+
+  void clear_timeline() { timeline_.clear(); }
+  bool timeline_active() const { return timeline_sched_ != nullptr; }
+  const std::deque<TimelineEntry>& timeline() const { return timeline_; }
+
+  /// One JSON object per line: {"t_us": <virtual time>, "metrics":
+  /// <MetricsRegistry::to_json()>}.  JSONL streams into pandas /
+  /// jq without holding the whole timeline in one document.
+  void write_timeline_jsonl(std::ostream& out) const {
+    for (const TimelineEntry& e : timeline_) {
+      out << "{\"t_us\":" << e.t << ",\"metrics\":" << e.metrics.to_json()
+          << "}\n";
+    }
+  }
+
+  ~MetricsHub() { stop_timeline(); }
+  MetricsHub() = default;
+  MetricsHub(const MetricsHub&) = delete;
+  MetricsHub& operator=(const MetricsHub&) = delete;
+
  private:
   std::vector<Source> sources_;
+  std::deque<TimelineEntry> timeline_;
+  sim::Scheduler* timeline_sched_ = nullptr;
+  sim::TaskId timeline_task_{};
+  std::size_t timeline_retention_ = 1024;
 };
 
 }  // namespace aa::obs

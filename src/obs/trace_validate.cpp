@@ -13,8 +13,11 @@
 #include <istream>
 #include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -302,6 +305,13 @@ std::vector<std::string> validate_chrome_trace(std::istream& in) {
 
   std::map<double, SpanRecord> spans;  // span id -> record
   std::size_t x_events = 0;
+  std::size_t c_events = 0;
+  // Counter-track state: (pid, tid) pairs that emitted counters or got
+  // naming metadata, and the last ts seen per (pid, tid, series).
+  std::set<std::pair<double, double>> counter_tracks;
+  std::set<std::pair<double, double>> named_threads;
+  std::set<double> named_processes;
+  std::map<std::tuple<double, double, std::string>, double> last_counter_ts;
   for (std::size_t i = 0; i < events->array().size(); ++i) {
     const JsonValue& ev = events->array()[i];
     const std::string where = "event " + std::to_string(i);
@@ -314,7 +324,52 @@ std::vector<std::string> validate_chrome_trace(std::istream& in) {
       problems.push_back(where + ": missing ph");
       continue;
     }
-    if (ph->str() != "X") continue;  // metadata / counter events pass through
+    if (ph->str() == "M") {  // naming metadata
+      const JsonValue* name = ev.get("name");
+      if (name == nullptr || !name->is_string()) continue;
+      const double pid = num_or(ev.get("pid"), -1);
+      if (name->str() == "process_name") named_processes.insert(pid);
+      if (name->str() == "thread_name") {
+        named_threads.insert({pid, num_or(ev.get("tid"), -1)});
+      }
+      continue;
+    }
+    if (ph->str() == "C") {  // counter track sample
+      ++c_events;
+      const JsonValue* name = ev.get("name");
+      if (name == nullptr || !name->is_string() || name->str().empty()) {
+        problems.push_back(where + ": C event without a name");
+        continue;
+      }
+      const double ts = num_or(ev.get("ts"), -1);
+      if (ts < 0) problems.push_back(where + ": C event with missing or negative ts");
+      const double pid = num_or(ev.get("pid"), -1);
+      const double tid = num_or(ev.get("tid"), -1);
+      if (pid < 0 || tid < 0) {
+        problems.push_back(where + ": C event without pid/tid");
+        continue;
+      }
+      counter_tracks.insert({pid, tid});
+      const JsonValue* args = ev.get("args");
+      if (args == nullptr || !args->is_object() || args->object().empty()) {
+        problems.push_back(where + ": C event without counter values");
+      } else {
+        for (const auto& [series, value] : args->object()) {
+          if (!value.is_number()) {
+            problems.push_back(where + ": counter \"" + series + "\" is not numeric");
+          }
+        }
+      }
+      const auto track = std::make_tuple(pid, tid, name->str());
+      auto it = last_counter_ts.find(track);
+      if (it != last_counter_ts.end() && ts + 1e-9 < it->second) {
+        problems.push_back(where + ": counter track \"" + name->str() +
+                           "\" timestamps go backwards");
+      }
+      last_counter_ts[track] = ts;
+      continue;
+    }
+    if (ph->str() != "X") continue;  // other phases pass through
     ++x_events;
     const JsonValue* name = ev.get("name");
     if (name == nullptr || !name->is_string() || name->str().empty()) {
@@ -341,7 +396,22 @@ std::vector<std::string> validate_chrome_trace(std::istream& in) {
     spans[span_id] = SpanRecord{ts, dur, trace_id, parent, i};
   }
 
-  if (x_events == 0) problems.push_back("no spans (X events) in trace");
+  if (x_events == 0 && c_events == 0) {
+    problems.push_back("no spans (X events) or counters (C events) in trace");
+  }
+
+  // Every counter track must be claimed by naming metadata, otherwise
+  // the viewer shows an anonymous row nothing explains.
+  for (const auto& [pid, tid] : counter_tracks) {
+    const std::string track = "(pid " + std::to_string(static_cast<long long>(pid)) +
+                              ", tid " + std::to_string(static_cast<long long>(tid)) + ")";
+    if (named_threads.count({pid, tid}) == 0) {
+      problems.push_back("orphan counter track " + track + ": no thread_name metadata");
+    }
+    if (named_processes.count(pid) == 0) {
+      problems.push_back("orphan counter track " + track + ": no process_name metadata");
+    }
+  }
 
   // Parent integrity + monotonic timestamps along every parent chain.
   for (const auto& [id, rec] : spans) {

@@ -1,6 +1,7 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <ostream>
 
 namespace aa::sim {
 
@@ -17,25 +18,45 @@ Network::Network(Scheduler& sched, std::shared_ptr<const Topology> topo,
       stats_slots_(topo_->size() + 1) {
   sched_.bind_hosts(static_cast<std::uint32_t>(topo_->size()));
   reseed_fault_rngs(default_faults_.seed);
+  sync_observer_slots();
+}
+
+Network::~Network() {
+  // The profiler dies with the network; detach it before the scheduler
+  // (externally owned, destroyed after us) can dangle into it.
+  if (profiler_ != nullptr) sched_.set_profiler(nullptr);
+}
+
+void Network::sync_observer_slots() {
+  const std::uint32_t slots = sched_.slot_count();
+  if (slots > ambient_.size()) ambient_.resize(slots);
+  if (tracer_ != nullptr) {
+    tracer_->bind_slots(slots, [this]() -> obs::TraceCollector::TaskRef {
+      const Scheduler::TaskKey k = sched_.current_task_key();
+      return {sched_.current_slot(), {k.time, k.owner_rank, k.oseq}};
+    });
+  }
+  // The profiler is re-bound by the scheduler itself (set_parallel /
+  // set_profiler), since sim tests drive set_parallel directly.
 }
 
 void Network::set_threads(unsigned threads) {
   const auto hosts = static_cast<std::uint32_t>(topo_->size());
-  const std::uint32_t shards =
-      tracer_ != nullptr ? 1 : std::min<std::uint32_t>(threads, hosts);
+  const std::uint32_t shards = std::min<std::uint32_t>(threads, hosts);
   if (shards <= 1) {
     sched_.set_parallel(1, {}, 1);
-    return;
+  } else {
+    // Contiguous blocks: hosts allocated together (e.g. one region, one
+    // broker subtree) tend to talk to each other, so block assignment
+    // keeps most traffic shard-local.
+    std::vector<std::uint32_t> map(hosts);
+    for (std::uint32_t h = 0; h < hosts; ++h) {
+      map[h] = static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(h) * shards / hosts);
+    }
+    sched_.set_parallel(shards, std::move(map), topo_->min_remote_latency());
   }
-  // Contiguous blocks: hosts allocated together (e.g. one region, one
-  // broker subtree) tend to talk to each other, so block assignment
-  // keeps most traffic shard-local.
-  std::vector<std::uint32_t> map(hosts);
-  for (std::uint32_t h = 0; h < hosts; ++h) {
-    map[h] = static_cast<std::uint32_t>(
-        static_cast<std::uint64_t>(h) * shards / hosts);
-  }
-  sched_.set_parallel(shards, std::move(map), topo_->min_remote_latency());
+  sync_observer_slots();
 }
 
 void Network::register_handler(HostId host, const std::string& protocol, Handler handler) {
@@ -113,15 +134,31 @@ bool Network::partitioned(HostId a, HostId b) const {
 void Network::enable_tracing(std::uint64_t sample_every) {
   if (tracer_ == nullptr) tracer_ = std::make_unique<obs::TraceCollector>();
   tracer_->set_sample_every(sample_every);
-  // The ambient trace context is process-global state; tracing therefore
-  // runs sequentially (a traced run executes the identical event
-  // sequence either way, so digests are unaffected).
-  if (sched_.shards() > 1) sched_.set_parallel(1, {}, 1);
+  sync_observer_slots();
 }
 
 void Network::disable_tracing() {
   tracer_.reset();
-  current_trace_ = {};
+  for (obs::TraceContext& c : ambient_) c = {};
+}
+
+void Network::enable_profiling(std::size_t sample_retention) {
+  if (profiler_ == nullptr) profiler_ = std::make_unique<obs::Profiler>();
+  profiler_->set_sample_retention(sample_retention);
+  sched_.set_profiler(profiler_.get());
+}
+
+void Network::disable_profiling() {
+  sched_.set_profiler(nullptr);
+  profiler_.reset();
+}
+
+void Network::export_chrome_trace(std::ostream& out) const {
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  if (tracer_ != nullptr) tracer_->write_chrome_events(out, first);
+  if (profiler_ != nullptr) profiler_->write_chrome_events(out, first);
+  out << "\n]}\n";
 }
 
 obs::TraceContext Network::start_trace() {
@@ -143,7 +180,7 @@ void Network::send(Packet packet) {
     return;
   }
   if (tracer_ != nullptr) {
-    if (!packet.trace.active()) packet.trace = current_trace_;
+    if (!packet.trace.active()) packet.trace = ambient_slot();
     if (packet.trace.active()) {
       // Receiver-side spans nest under the wire hop, so the hop becomes
       // the packet's parent for the rest of its flight.

@@ -33,6 +33,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -40,6 +41,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/topology.hpp"
@@ -100,6 +102,7 @@ class Network {
  public:
   Network(Scheduler& sched, std::shared_ptr<const Topology> topo,
           double bandwidth_bytes_per_us = 100.0);
+  ~Network();
 
   Scheduler& scheduler() { return sched_; }
   const Topology& topology() const { return *topo_; }
@@ -110,9 +113,10 @@ class Network {
   /// topology().min_remote_latency() (see scheduler.hpp for the
   /// conservative-sync argument).  Delivery digests and counters are
   /// bit-identical to sequential runs.  Pass 1 to go back to
-  /// sequential.  Tracing forces sequential mode: the ambient trace
-  /// context is process-global, so set_threads is a no-op (stays at 1)
-  /// while tracing is enabled, and enable_tracing drops back to 1.
+  /// sequential.  Tracing and profiling compose with sharding: the
+  /// ambient trace context, span buffers and profiler counters are all
+  /// slot-partitioned, so switching thread counts just re-sizes the
+  /// observer state.
   void set_threads(unsigned threads);
   unsigned threads() const { return sched_.shards(); }
 
@@ -187,13 +191,17 @@ class Network {
   // one.  When disabled (the default) the hot path pays one pointer
   // compare.
   //
-  // Propagation model: the simulation is single-threaded, so the trace
-  // context of the packet currently being delivered is globally
-  // unambiguous — deliver() installs it as the *ambient* context and
-  // send() adopts the ambient context into untraced packets.  Code
-  // that defers work through the scheduler (breaking the synchronous
-  // chain) captures current_trace() into its closure and restores it
-  // with a TraceScope; components record their hop with a SpanScope.
+  // Propagation model: the *ambient* trace context is slot-local — one
+  // slot per scheduler shard plus one for root context, owned by
+  // whichever thread is driving that shard, so tracing composes with
+  // set_threads(n).  deliver() installs the packet's context into the
+  // executing slot and send() adopts the executing slot's context into
+  // untraced packets.  Code that defers work through the scheduler
+  // (breaking the synchronous chain) captures current_trace() into its
+  // closure and restores it with a TraceScope; components record their
+  // hop with a SpanScope.  Root-trace sampling is keyed off the
+  // scheduler's deterministic task key, so the traced set is
+  // bit-stable across shard counts.
 
   /// Enables tracing, creating the collector on first use.  `sample_every`
   /// starts every n-th root trace (1 = all; see TraceCollector).
@@ -206,36 +214,59 @@ class Network {
 
   /// Starts a new (sampled) root trace; inactive when tracing is off.
   obs::TraceContext start_trace();
-  /// The context of the causal chain currently executing (inactive
-  /// outside a traced delivery).
-  const obs::TraceContext& current_trace() const { return current_trace_; }
+  /// The context of the causal chain currently executing on this
+  /// thread's scheduler slot (inactive outside a traced delivery).
+  const obs::TraceContext& current_trace() const { return ambient_slot(); }
 
-  /// RAII: installs `ctx` as the ambient context, restoring the
-  /// previous one on destruction.  Used to carry a trace across a
-  /// scheduler hop: capture current_trace() into the closure, then
-  /// open a TraceScope when the closure runs.
+  // --- Scheduler profiling (obs/profiler.hpp) ---
+  //
+  // Independent of tracing and likewise observation-only: SpanScopes
+  // attribute wall time to subsystem buckets (self-time, so nested
+  // scopes never double-count) and the scheduler attributes per-shard
+  // busy / barrier-wait / serialization / merge time.  Counter
+  // snapshots are taken at epoch barriers; export_chrome_trace() emits
+  // them as Perfetto counter tracks next to the spans.
+
+  /// Enables profiling, creating the profiler on first use.
+  /// `sample_retention` caps the barrier-snapshot ring buffer.
+  void enable_profiling(std::size_t sample_retention = 4096);
+  /// Detaches and drops the profiler and all counters.
+  void disable_profiling();
+  bool profiling_enabled() const { return profiler_ != nullptr; }
+  obs::Profiler* profiler() { return profiler_.get(); }
+  const obs::Profiler* profiler() const { return profiler_.get(); }
+
+  /// One Chrome trace_event document combining the collector's spans
+  /// (when tracing) and the profiler's counter tracks (when profiling).
+  /// Root context only.
+  void export_chrome_trace(std::ostream& out) const;
+
+  /// RAII: installs `ctx` as the ambient context of the executing slot,
+  /// restoring the previous one on destruction.  Used to carry a trace
+  /// across a scheduler hop: capture current_trace() into the closure,
+  /// then open a TraceScope when the closure runs.
   class TraceScope {
    public:
     /// A no-op while tracing is off: the ambient context is then always
-    /// inactive anyway, and not touching it keeps the delivery path free
-    /// of shared writes in parallel mode (tracing itself forces
-    /// sequential execution).
+    /// inactive anyway, and not touching it keeps the delivery path
+    /// free of even slot-local writes.
     TraceScope(Network& net, const obs::TraceContext& ctx)
-        : net_(net), engaged_(net.tracer_ != nullptr) {
+        : engaged_(net.tracer_ != nullptr) {
       if (engaged_) {
-        saved_ = net_.current_trace_;
-        net_.current_trace_ = ctx;
+        slot_ = &net.ambient_slot();
+        saved_ = *slot_;
+        *slot_ = ctx;
       }
     }
     ~TraceScope() {
-      if (engaged_) net_.current_trace_ = saved_;
+      if (engaged_) *slot_ = saved_;
     }
     TraceScope(const TraceScope&) = delete;
     TraceScope& operator=(const TraceScope&) = delete;
 
    private:
-    Network& net_;
     bool engaged_;
+    obs::TraceContext* slot_ = nullptr;
     obs::TraceContext saved_;
   };
 
@@ -243,24 +274,30 @@ class Network {
   /// the ambient parent, so nested SpanScopes and sends hang off it;
   /// closes the span and restores the ambient context on destruction.
   /// A no-op (span id 0) when tracing is off or no trace is ambient.
+  /// With profiling on it additionally charges the scope's wall time to
+  /// the subsystem bucket of (component, action) — even when tracing is
+  /// off or the chain is unsampled, so profiles cover all work.
   class SpanScope {
    public:
-    /// Like TraceScope, a strict no-op (no ambient-context writes) while
-    /// tracing is off.
     SpanScope(Network& net, HostId host, std::string component, std::string action)
         : net_(net), engaged_(net.tracer_ != nullptr) {
+      if (net.profiler_ != nullptr) {
+        prof_.emplace(net.profiler_.get(), net.sched_.current_slot(),
+                      obs::bucket_for(component, action));
+      }
       if (!engaged_) return;
-      saved_ = net_.current_trace_;
+      slot_ = &net.ambient_slot();
+      saved_ = *slot_;
       if (saved_.active()) {
-        span_ = net_.tracer_->begin(saved_, host, std::move(component),
-                                    std::move(action), net_.sched_.now());
-        net_.current_trace_ = obs::TraceContext{saved_.trace_id, span_};
+        span_ = net.tracer_->begin(saved_, host, std::move(component),
+                                   std::move(action), net.sched_.now());
+        *slot_ = obs::TraceContext{saved_.trace_id, span_};
       }
     }
     ~SpanScope() {
       if (!engaged_) return;
       if (span_ != 0) net_.tracer_->end(span_, net_.sched_.now());
-      net_.current_trace_ = saved_;
+      *slot_ = saved_;
     }
     SpanScope(const SpanScope&) = delete;
     SpanScope& operator=(const SpanScope&) = delete;
@@ -274,8 +311,10 @@ class Network {
    private:
     Network& net_;
     bool engaged_;
+    obs::TraceContext* slot_ = nullptr;
     obs::TraceContext saved_;
     std::uint64_t span_ = 0;
+    std::optional<obs::Profiler::Scope> prof_;
   };
 
   void set_host_up(HostId host, bool up);
@@ -315,6 +354,19 @@ class Network {
 
  private:
   void deliver(const Packet& packet, std::uint32_t incarnation);
+  /// Ambient trace context of the executing slot.  Grow-only: after a
+  /// shard-count reduction stale high slots linger unused, which keeps
+  /// the clamp below from ever aliasing two *active* slots.
+  obs::TraceContext& ambient_slot() {
+    const std::uint32_t i = sched_.current_slot();
+    return ambient_[i < ambient_.size() ? i : ambient_.size() - 1];
+  }
+  const obs::TraceContext& ambient_slot() const {
+    return const_cast<Network*>(this)->ambient_slot();
+  }
+  /// Re-sizes slot-partitioned observer state (ambient contexts, span
+  /// buffers) to the scheduler's slot layout.  Root context only.
+  void sync_observer_slots();
   /// Fault model in effect for src -> dst, or nullptr for a clean link.
   const LinkFaults* faults_for(HostId src, HostId dst) const;
   /// Closes the packet's wire span (note != nullptr annotates first).
@@ -361,7 +413,10 @@ class Network {
   std::vector<NetworkStats> stats_slots_;
   mutable NetworkStats stats_agg_;
   std::unique_ptr<obs::TraceCollector> tracer_;  // null = tracing off
-  obs::TraceContext current_trace_{};
+  std::unique_ptr<obs::Profiler> profiler_;      // null = profiling off
+  // Slot-local ambient trace contexts (one per scheduler slot; see
+  // ambient_slot()).  Always at least one entry.
+  std::vector<obs::TraceContext> ambient_{1};
 };
 
 }  // namespace aa::sim

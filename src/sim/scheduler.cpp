@@ -2,12 +2,22 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <limits>
+
+#include "obs/profiler.hpp"
 
 namespace aa::sim {
 
 namespace {
 constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
+std::uint64_t wall_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 }
 
 thread_local Scheduler::Ctx Scheduler::tls_;
@@ -199,11 +209,18 @@ Scheduler::Entry Scheduler::pop_front(Shard& s) {
 
 void Scheduler::execute(Shard& s, std::uint32_t shard_idx, Entry e) {
   const Ctx saved = tls_;
-  tls_ = Ctx{this, shard_idx, e.affinity, e.time, saved.sched == this && saved.in_epoch};
+  tls_ = Ctx{this, shard_idx, e.affinity, e.time, e.owner_rank, e.oseq,
+             saved.sched == this && saved.in_epoch};
   s.now = e.time;
   ++s.executed;
   auto fn = std::move(e.fn);
-  fn();
+  if (profiler_ != nullptr) {
+    const std::uint64_t t0 = wall_ns();
+    fn();
+    profiler_->note_task(shard_idx, wall_ns() - t0);
+  } else {
+    fn();
+  }
   tls_ = saved;
 }
 
@@ -269,11 +286,17 @@ void Scheduler::run_shard_epoch(std::uint32_t shard_idx, SimTime end) {
     SimTime t;
     if (!peek_live(s, t) || t >= end) break;
     Entry e = pop_front(s);
-    tls_ = Ctx{this, shard_idx, e.affinity, e.time, true};
+    tls_ = Ctx{this, shard_idx, e.affinity, e.time, e.owner_rank, e.oseq, true};
     s.now = e.time;
     ++s.executed;
     auto fn = std::move(e.fn);
-    fn();
+    if (profiler_ != nullptr) {
+      const std::uint64_t t0 = wall_ns();
+      fn();
+      profiler_->note_task(shard_idx, wall_ns() - t0);
+    } else {
+      fn();
+    }
   }
   tls_ = saved;
 }
@@ -306,12 +329,19 @@ SimTime Scheduler::run_until_impl(SimTime deadline, bool bounded) {
     }
     if (bounded) now_ = std::max(now_, deadline);
     s.now = now_;
+    if (profiler_ != nullptr) profiler_->sample(now_);
     return now_;
   }
 
   const std::uint32_t gs = global_shard();
   for (;;) {
-    drain_outboxes();
+    if (profiler_ != nullptr) {
+      const std::uint64_t t0 = wall_ns();
+      drain_outboxes();
+      profiler_->note_merge(gs, wall_ns() - t0);
+    } else {
+      drain_outboxes();
+    }
     SimTime tmin = kNever;
     for (Shard& s : shards_) {
       SimTime t;
@@ -322,7 +352,14 @@ SimTime Scheduler::run_until_impl(SimTime deadline, bool bounded) {
     (void)peek_live(shards_[gs], tg);
     if (tg == tmin) {
       // A global task is due first: serialize this timestamp.
-      run_sync_timestamp(tmin);
+      if (profiler_ != nullptr) {
+        const std::uint64_t t0 = wall_ns();
+        run_sync_timestamp(tmin);
+        profiler_->note_serialization(gs, wall_ns() - t0);
+        profiler_->sample(tmin);
+      } else {
+        run_sync_timestamp(tmin);
+      }
       continue;
     }
     SimTime end = tmin + lookahead_;
@@ -330,6 +367,7 @@ SimTime Scheduler::run_until_impl(SimTime deadline, bool bounded) {
     if (bounded && deadline + 1 < end) end = deadline + 1;
     // Concurrent epoch [tmin, end): workers drive shards 1..S-1, the
     // coordinator drives shard 0 inline.
+    const std::uint64_t epoch_t0 = profiler_ != nullptr ? wall_ns() : 0;
     {
       std::unique_lock<std::mutex> lk(mu_);
       epoch_end_ = end;
@@ -342,10 +380,18 @@ SimTime Scheduler::run_until_impl(SimTime deadline, bool bounded) {
       std::unique_lock<std::mutex> lk(mu_);
       cv_done_.wait(lk, [this] { return working_ == 0; });
     }
+    if (profiler_ != nullptr) {
+      // Workers are parked again: the idle remainder of the epoch wall
+      // time is each shard's barrier wait.
+      profiler_->note_epoch(wall_ns() - epoch_t0,
+                            static_cast<std::uint32_t>(shards_.size()) - 1);
+      profiler_->sample(tmin);
+    }
   }
   for (Shard& s : shards_) now_ = std::max(now_, s.now);
   if (bounded) now_ = std::max(now_, deadline);
   for (Shard& s : shards_) s.now = now_;
+  if (profiler_ != nullptr) profiler_->sample(now_);
   return now_;
 }
 
@@ -416,7 +462,14 @@ void Scheduler::set_parallel(std::uint32_t shards, std::vector<std::uint32_t> sh
         p.owner == kGlobalOwner ? global_shard() : shard_of(p.owner);
     shards_[target].periodic.emplace(id, std::move(p));
   }
+  if (profiler_ != nullptr) profiler_->bind_slots(slot_count());
   if (parallel()) start_workers();
+}
+
+void Scheduler::set_profiler(obs::Profiler* p) {
+  assert(tls_.sched != this && "cannot attach a profiler from inside an event");
+  profiler_ = p;
+  if (p != nullptr) p->bind_slots(slot_count());
 }
 
 void Scheduler::start_workers() {

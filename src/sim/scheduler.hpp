@@ -50,6 +50,10 @@
 
 #include "common/time.hpp"
 
+namespace aa::obs {
+class Profiler;
+}
+
 namespace aa::sim {
 
 /// Identifies a scheduled task so it can be cancelled.
@@ -150,6 +154,46 @@ class Scheduler {
   /// any event / in a global task.
   std::uint32_t current_host() const;
 
+  // --- Observability hooks (obs/ tracing + profiling) ---
+
+  /// Number of execution slots: shards plus the global slot (1 in
+  /// sequential mode).  Slot-partitioned observers (the trace
+  /// collector's span buffers, the profiler's counters, the network's
+  /// ambient trace contexts) size themselves off this.
+  std::uint32_t slot_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  /// Slot the calling thread is executing in: the current shard inside
+  /// an event, the global slot outside one.  During an epoch each
+  /// thread only ever sees its own slot, which is what makes
+  /// slot-indexed observer state race-free without locks.
+  std::uint32_t current_slot() const {
+    return tls_.sched == this ? tls_.shard : global_shard();
+  }
+
+  /// Content-based identity of the executing task — the same triple at
+  /// any shard count, so observers can key deterministic decisions
+  /// (trace sampling, patch ordering) off it.  Outside any task the
+  /// rank/seq are zero (root context) and `time` is the high-water
+  /// mark.
+  struct TaskKey {
+    SimTime time = 0;
+    std::uint64_t owner_rank = 0;  // 0 = global/root, host h = h + 1
+    std::uint64_t oseq = 0;
+  };
+  TaskKey current_task_key() const {
+    if (tls_.sched == this) return {tls_.now, tls_.owner_rank, tls_.oseq};
+    return {now_, 0, 0};
+  }
+
+  /// Attaches a wall-clock profiler (nullptr detaches).  The scheduler
+  /// times every task closure, attributes epoch barrier waits,
+  /// serialization points and outbox merges, and snapshots counters at
+  /// each barrier.  Observation-only: execution order is unchanged.
+  /// The profiler must outlive the scheduler or be detached first.
+  void set_profiler(obs::Profiler* p);
+  obs::Profiler* profiler() const { return profiler_; }
+
  private:
   struct Entry {
     SimTime time = 0;
@@ -194,6 +238,8 @@ class Scheduler {
     std::uint32_t shard = 0;
     std::uint32_t host = kGlobalOwner;  // ambient owner for spawned tasks
     SimTime now = 0;
+    std::uint64_t owner_rank = 0;  // key of the executing task
+    std::uint64_t oseq = 0;
     bool in_epoch = false;  // true while shards run concurrently
   };
   static thread_local Ctx tls_;
@@ -253,6 +299,8 @@ class Scheduler {
   SimTime epoch_end_ = 0;
   int working_ = 0;
   bool shutdown_ = false;
+
+  obs::Profiler* profiler_ = nullptr;  // null = profiling off
 };
 
 }  // namespace aa::sim

@@ -17,6 +17,8 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
+#include <sstream>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -68,6 +70,13 @@ struct ScenarioResult {
   std::uint64_t messages_sent = 0;
   sim::NetworkStats net_stats;      // full counters (publish phase)
   pubsub::BrokerStats broker;       // summed over all brokers
+  // Structural span content (tracing on): every span rendered to a
+  // shard-count-independent key — trace id, host, component, action,
+  // virtual times, detail, and the *content* of its parent rather than
+  // the raw span id (ids encode the producing slot, which legitimately
+  // differs across shard counts).
+  std::multiset<std::string> span_multiset;
+  std::string chrome_export;  // Network::export_chrome_trace (tracing on)
 };
 
 // Field-wise comparable projections; keep in sync with the structs.
@@ -89,12 +98,14 @@ auto broker_stats_key(const pubsub::BrokerStats& s) {
 // `threads` > 1 runs the publish phase on the sharded scheduler.
 ScenarioResult run_scenario(bool reliable,
                             std::function<void(sim::Network&, sim::Scheduler&)> mutate,
-                            bool tracing = false, unsigned threads = 1) {
+                            bool tracing = false, unsigned threads = 1,
+                            bool profiling = false) {
   ScenarioResult result;
   sim::Scheduler sched;
   auto topo = std::make_shared<sim::UniformTopology>(kHosts, duration::millis(5));
   sim::Network net(sched, topo);
   if (tracing) net.enable_tracing();
+  if (profiling) net.enable_profiling();
   if (threads > 1) net.set_threads(threads);
   SienaNetwork ps(net, {0, 1, 2, 3, 4, 5, 6, 7});
   ps.connect_tree(2);  // edges: 0-1, 0-2, 1-3, 1-4, 2-5, 2-6, 3-7
@@ -142,9 +153,23 @@ ScenarioResult run_scenario(bool reliable,
   result.bytes_sent = result.net_stats.bytes_sent;
   result.messages_sent = result.net_stats.messages_sent;
   if (const obs::TraceCollector* tc = net.tracer()) {
+    std::map<std::uint64_t, const obs::Span*> by_id;
+    for (const obs::Span& s : tc->spans()) by_id[s.id] = &s;
+    const auto content = [](const obs::Span& s) {
+      return std::to_string(s.trace_id) + "|" + std::to_string(s.host) + "|" +
+             s.component + "|" + s.action + "|" + std::to_string(s.start) + "|" +
+             std::to_string(s.end) + "|" + s.detail;
+    };
     for (const obs::Span& s : tc->spans()) {
       if (s.action == "deliver") ++result.deliver_spans;
+      std::string key = content(s);
+      const auto pit = by_id.find(s.parent);
+      key += "|parent:" + (pit == by_id.end() ? std::string("-") : content(*pit->second));
+      result.span_multiset.insert(std::move(key));
     }
+    std::ostringstream out;
+    net.export_chrome_trace(out);
+    result.chrome_export = out.str();
   }
   return result;
 }
@@ -690,6 +715,81 @@ TEST(Chaos, ParallelBrokerCrashRecoveryMatchesSequential) {
       EXPECT_EQ(broker_stats_key(par.broker), broker_stats_key(seq.broker))
           << "seed " << seed << " threads " << threads;
     }
+  }
+}
+
+TEST(Chaos, TracedParallelSweepMatchesUntracedSequential) {
+  // The shard-safe-tracing pin: with slot-local ambient contexts and
+  // keyed sampling, enabling tracing no longer drops the scheduler to
+  // one shard — and must stay pure observation at every shard count.
+  // The full 21-seed chaos sweep runs traced at 1, 2 and 4 shards; each
+  // run's digest and counters must be bit-identical to the *untraced
+  // sequential* oracle, and the merged span set must be structurally
+  // identical to the 1-shard trace (same multiset of span contents and
+  // parent links; raw span ids encode the producing slot and may
+  // differ).
+  for (std::uint64_t seed = 1; seed <= 21; ++seed) {
+    const auto scenario = [seed](sim::Network& net, sim::Scheduler& sched) {
+      install_chaos(seed, net, sched);
+    };
+    const ScenarioResult oracle = run_scenario(/*reliable=*/true, scenario);
+    ASSERT_GT(oracle.dropped_by_fault, 0u) << "seed " << seed;
+    std::multiset<std::string> one_shard_spans;
+    for (unsigned threads : {1u, 2u, 4u}) {
+      const ScenarioResult traced =
+          run_scenario(/*reliable=*/true, scenario, /*tracing=*/true, threads);
+      EXPECT_EQ(traced.digest, oracle.digest) << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(traced.give_ups, oracle.give_ups)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(net_stats_key(traced.net_stats), net_stats_key(oracle.net_stats))
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(broker_stats_key(traced.broker), broker_stats_key(oracle.broker))
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(traced.deliver_spans, traced.deliveries)
+          << "seed " << seed << " threads " << threads;
+      if (threads == 1) {
+        one_shard_spans = traced.span_multiset;
+        ASSERT_FALSE(one_shard_spans.empty()) << "seed " << seed;
+      } else {
+        EXPECT_EQ(traced.span_multiset, one_shard_spans)
+            << "seed " << seed << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(Chaos, ParallelTraceExportValidates) {
+  // A traced + profiled 4-shard chaos run must export Chrome/Perfetto
+  // JSON that passes every validator check: span structure from the
+  // merged trace and counter tracks (numeric values, non-decreasing
+  // per-track timestamps, named threads) from the profiler.
+  const ScenarioResult traced = run_scenario(
+      /*reliable=*/true,
+      [](sim::Network& net, sim::Scheduler& sched) { install_chaos(5, net, sched); },
+      /*tracing=*/true, /*threads=*/4, /*profiling=*/true);
+  ASSERT_FALSE(traced.chrome_export.empty());
+  std::istringstream in(traced.chrome_export);
+  const auto problems = obs::validate_chrome_trace(in);
+  EXPECT_TRUE(problems.empty()) << (problems.empty() ? "" : problems.front());
+}
+
+TEST(Chaos, ProfilingIsPureObservation) {
+  // The profiler reads wall clocks and bumps slot-local counters but
+  // never touches scheduling decisions: digests and counters with
+  // profiling on are bit-identical to the plain run, sequential and
+  // sharded alike.
+  const auto scenario = [](sim::Network& net, sim::Scheduler& sched) {
+    install_chaos(7, net, sched);
+  };
+  const ScenarioResult off = run_scenario(/*reliable=*/true, scenario);
+  for (unsigned threads : {1u, 4u}) {
+    const ScenarioResult on = run_scenario(/*reliable=*/true, scenario,
+                                           /*tracing=*/false, threads, /*profiling=*/true);
+    EXPECT_EQ(on.digest, off.digest) << "threads " << threads;
+    EXPECT_EQ(net_stats_key(on.net_stats), net_stats_key(off.net_stats))
+        << "threads " << threads;
+    EXPECT_EQ(broker_stats_key(on.broker), broker_stats_key(off.broker))
+        << "threads " << threads;
   }
 }
 

@@ -358,18 +358,20 @@ TEST(Parallel, ModeSwitchPreservesPendingWork) {
   EXPECT_EQ(sched.pending(), 0u);
 }
 
-TEST(Parallel, TracingForcesSequentialExecution) {
-  // The ambient trace context is process-global, so set_threads while
-  // tracing stays at one shard (and enabling tracing drops back to one).
+TEST(Parallel, TracingComposesWithSharding) {
+  // The ambient trace context is slot-local (one per scheduler shard),
+  // so tracing no longer forces sequential execution: enabling it keeps
+  // the shard count, and set_threads keeps working while tracing is on.
   Scheduler sched;
   auto topo = std::make_shared<UniformTopology>(4, duration::millis(2));
   Network net(sched, topo);
   net.set_threads(4);
   EXPECT_EQ(net.threads(), 4u);
   net.enable_tracing();
-  EXPECT_EQ(net.threads(), 1u);
-  net.set_threads(4);
-  EXPECT_EQ(net.threads(), 1u);
+  EXPECT_EQ(net.threads(), 4u);
+  net.set_threads(2);
+  EXPECT_EQ(net.threads(), 2u);
+  EXPECT_TRUE(net.tracing_enabled());
   net.disable_tracing();
   net.set_threads(4);
   EXPECT_EQ(net.threads(), 4u);

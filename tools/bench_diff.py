@@ -24,8 +24,11 @@ import json
 import sys
 
 # Keys matching these globs are informational: reported, never fatal.
+# The profiler keys (busy/barrier_wait/serialization/merge) are real
+# wall-clock attribution, so they vary with runner load like wall_us.
 NOISY = ["*wall_us", "*us_per_event*", "*events_per_sec*", "*speedup*",
-         "*.hardware_threads"]
+         "*.hardware_threads", "*busy_us", "*barrier_wait_us",
+         "*serialization_us", "*merge_us", "*us_per_doc*"]
 
 
 def load_counters(path):

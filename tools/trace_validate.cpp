@@ -4,8 +4,11 @@
 //
 // Runs the same structural checks the benches apply before declaring a
 // trace good (span nesting, monotonic timestamps, unique ids, parent
-// links within one trace) and prints every problem found.  Exit code 0
-// when every file validates, 1 otherwise — suitable for CI.
+// links within one trace, plus counter tracks: numeric values,
+// non-decreasing per-track timestamps, and thread/process naming for
+// every (pid, tid) that emits counters) and prints every problem
+// found.  Exit code 0 when every file validates, 1 otherwise — suitable
+// for CI; 2 for usage errors.
 #include <cstdio>
 
 #include "obs/trace.hpp"
