@@ -10,10 +10,12 @@
 #include <chrono>
 #include <functional>
 #include <memory>
+#include <span>
 #include <thread>
 #include <utility>
 
 #include "bench_util.hpp"
+#include "wire/codec.hpp"
 #include "obs/metrics_hub.hpp"
 #include "obs/profiler.hpp"
 #include "sim/metrics.hpp"
@@ -50,7 +52,8 @@ struct Workload {
 /// on the sharded scheduler (broker modes only: the scribe mode rides
 /// the overlay, which runs sequentially).
 RunResult run(const Workload& w, const std::string& mode, unsigned threads = 1,
-              bool profiling = false) {
+              bool profiling = false, const std::string& codec = "xml",
+              bool batching = false) {
   sim::Scheduler sched;
   const std::size_t hosts =
       static_cast<std::size_t>(w.brokers + w.subscribers + w.publishers);
@@ -95,6 +98,13 @@ RunResult run(const Workload& w, const std::string& mode, unsigned threads = 1,
     auto s = std::make_unique<pubsub::SienaNetwork>(net, broker_hosts);
     s->connect_tree();
     if (mode == "siena-adv") s->set_advertisement_forwarding(true);
+    const wire::WireCodec wc = wire::codec_from_name(codec).value_or(wire::WireCodec::kXml);
+    s->set_codec(wc);
+    if (batching) {
+      net.enable_batching(0, [wc](std::span<const std::size_t> sizes) {
+        return wire::codec(wc).frame_size(sizes);
+      });
+    }
     siena = s.get();
     service = std::move(s);
   }
@@ -160,6 +170,13 @@ int main(int argc, char** argv) {
                   "event service scalability: central (Elvin) vs flooding vs content-based "
                   "(Siena)");
   const unsigned knob_threads = bench::threads_arg(argc, argv);
+  const std::string knob_codec = bench::codec_arg(argc, argv);
+  const bool knob_batch = bench::batch_arg(argc, argv);
+  if (knob_codec != "xml" || knob_batch) {
+    std::printf("(siena modes run with codec=%s batching=%s; other services keep the\n"
+                " XML interop encoding)\n",
+                knob_codec.c_str(), knob_batch ? "on" : "off");
+  }
   bench::Snapshot snap("c1", argc, argv);
 
   for (int subscribers : {64, 256}) {
@@ -169,7 +186,7 @@ int main(int argc, char** argv) {
     bench::Table table({"service", "messages", "bytes", "hotspot", "lat ms", "delivered"});
     std::vector<std::pair<std::string, RunResult>> results;
     for (const std::string mode : {"central", "flooding", "siena", "siena-adv", "scribe"}) {
-      const auto r = run(w, mode, knob_threads);
+      const auto r = run(w, mode, knob_threads, /*profiling=*/false, knob_codec, knob_batch);
       table.row({mode, bench::fmt("%llu", (unsigned long long)r.messages),
                  bench::fmt("%llu", (unsigned long long)r.bytes),
                  bench::fmt("%llu", (unsigned long long)r.hotspot),
@@ -502,6 +519,95 @@ int main(int argc, char** argv) {
     std::printf("(transit entries under aggregation are bounded by groups x overlay\n"
                 " links — flat from 10^3 to 10^5 clients while the unmerged tree's grow\n"
                 " with N; sharding also divides per-broker load by the shard count.)\n");
+  }
+
+  std::printf("\n(f) Per-link batching (siena tree, binary codec, bursty publishers —\n"
+              "    all publishers fire in the same tick so fan-out to a shared\n"
+              "    neighbour coalesces): packets on the wire per delivered event,\n"
+              "    batching off vs on:\n");
+  {
+    struct BatchResult {
+      std::uint64_t delivered = 0;
+      sim::NetworkStats net;
+    };
+    auto run_batch = [](bool batching) {
+      BatchResult out;
+      sim::Scheduler sched;
+      constexpr int kBrokers = 16, kSubscribers = 64, kPublishers = 16;
+      auto topo = std::make_shared<sim::UniformTopology>(
+          kBrokers + kSubscribers + kPublishers, duration::millis(5));
+      sim::Network net(sched, topo);
+      std::vector<sim::HostId> brokers;
+      for (sim::HostId h = 0; h < kBrokers; ++h) brokers.push_back(h);
+      pubsub::SienaNetwork ps(net, brokers);
+      ps.connect_tree();
+      ps.set_codec(wire::WireCodec::kBinary);
+      if (batching) {
+        net.enable_batching(0, [](std::span<const std::size_t> sizes) {
+          return wire::binary_codec().frame_size(sizes);
+        });
+      }
+      for (int s = 0; s < kSubscribers; ++s) {
+        const sim::HostId host = static_cast<sim::HostId>(kBrokers + s);
+        ps.attach_client(host, brokers[static_cast<std::size_t>(s % kBrokers)]);
+        event::Filter f;
+        f.where("type", event::Op::kEq, "reading")
+            .where("topic", event::Op::kEq, "topic" + std::to_string(s % 8));
+        ps.subscribe(host, f, [&out](const event::Event&) { ++out.delivered; });
+      }
+      for (int p = 0; p < kPublishers; ++p) {
+        ps.attach_client(static_cast<sim::HostId>(kBrokers + kSubscribers + p),
+                         brokers[static_cast<std::size_t>(p % kBrokers)]);
+      }
+      sched.run();
+      net.reset_stats();
+      // Bursts: every publisher fires a sensor sweep (8 readings) in the
+      // same virtual instant, then the network drains — this is where
+      // same-link sends pile up.
+      for (int round = 0; round < 20; ++round) {
+        for (int p = 0; p < kPublishers; ++p) {
+          for (int burst = 0; burst < 8; ++burst) {
+            event::Event e("reading");
+            e.set("topic", "topic" + std::to_string((round + p + burst) % 8))
+                .set("value", round);
+            ps.publish(static_cast<sim::HostId>(kBrokers + kSubscribers + p), e);
+          }
+        }
+        sched.run();
+      }
+      out.net = net.stats();
+      return out;
+    };
+    const auto off = run_batch(false);
+    const auto on = run_batch(true);
+    bench::Table t({"batching", "packets", "messages", "frames", "bytes", "delivered",
+                    "pkts/delivery"});
+    auto per_delivery = [](const BatchResult& r) {
+      return static_cast<double>(r.net.packets_sent()) /
+             static_cast<double>(r.delivered ? r.delivered : 1);
+    };
+    for (const auto* r : {&off, &on}) {
+      t.row({r == &off ? "off" : "on",
+             bench::fmt("%llu", (unsigned long long)r->net.packets_sent()),
+             bench::fmt("%llu", (unsigned long long)r->net.messages_sent),
+             bench::fmt("%llu", (unsigned long long)r->net.frames_sent),
+             bench::fmt("%llu", (unsigned long long)r->net.bytes_sent),
+             bench::fmt("%llu", (unsigned long long)r->delivered),
+             bench::fmt("%.2f", per_delivery(*r))});
+    }
+    if (on.delivered != off.delivered) {
+      std::printf("  WARNING: batching changed the delivery count!\n");
+    }
+    std::printf("  (same deliveries, fewer packets: members riding a shared frame pay\n"
+                "   one header and one fault draw — DESIGN.md §12.)\n");
+    snap.add("batch.off.packets", off.net.packets_sent());
+    snap.add("batch.off.delivered", off.delivered);
+    snap.add("batch.on.packets", on.net.packets_sent());
+    snap.add("batch.on.frames", on.net.frames_sent);
+    snap.add("batch.on.members", on.net.batched_messages);
+    snap.add("batch.on.delivered", on.delivered);
+    snap.add_scaled("batch.off.packets_per_delivery", per_delivery(off));
+    snap.add_scaled("batch.on.packets_per_delivery", per_delivery(on));
   }
 
   std::printf("\nShape check: all services deliver the same events, but the central\n"

@@ -15,12 +15,15 @@
 #include <new>
 
 #include "bench_util.hpp"
+#include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "sim/metrics.hpp"
 #include "event/filter_index.hpp"
 #include "event/filter_parser.hpp"
 #include "match/engine.hpp"
 #include "match/naive_engine.hpp"
+#include "pubsub/messages.hpp"
+#include "wire/codec.hpp"
 #include "xml/xml.hpp"
 
 // --- Global allocation counter (section d) ---
@@ -385,6 +388,63 @@ int main(int argc, char** argv) {
     snap.add("repr.cow_allocs", cow_allocs);
     snap.add("repr.matches", cow_matches);
     snap.add_scaled("repr.alloc_ratio", alloc_ratio);
+  }
+
+  std::printf("\n(e) Wire codec economics: the same publish/subscribe traffic priced\n"
+              "    by the XML interop codec vs the length-prefixed binary codec\n"
+              "    (wire/codec.hpp) — bytes a broker link would carry per message:\n");
+  {
+    Rng rng(7);
+    const auto stream = make_stream(2000, 64, rng);
+    std::uint64_t xml_bytes = 0, bin_bytes = 0, count = 0;
+    std::uint64_t roundtrip_failures = 0;
+    const wire::Codec& xml = wire::xml_codec();
+    const wire::Codec& bin = wire::binary_codec();
+    for (const event::Event& e : stream) {
+      const pubsub::PublishMsg pub{e, count};
+      xml_bytes += pubsub::wire_size(xml, pub);
+      bin_bytes += pubsub::wire_size(bin, pub);
+      // The binary bytes must decode back to the same payload — the
+      // reduction only counts if nothing is lost.
+      BufWriter w;
+      pubsub::encode(w, bin, pub);
+      BufReader r(w.data());
+      const auto back = pubsub::decode_publish(r, bin);
+      if (!back.is_ok() || back.value().event.to_xml_string() != e.to_xml_string()) {
+        ++roundtrip_failures;
+      }
+      ++count;
+    }
+    std::uint64_t xml_sub_bytes = 0, bin_sub_bytes = 0;
+    for (int i = 0; i < 200; ++i) {
+      event::Filter f;
+      f.where("type", event::Op::kEq, "user-location")
+          .where("user", event::Op::kPrefix, "user" + std::to_string(i % 64));
+      const pubsub::SubscribeMsg sub{static_cast<std::uint64_t>(i), f};
+      xml_sub_bytes += pubsub::wire_size(xml, sub);
+      bin_sub_bytes += pubsub::wire_size(bin, sub);
+    }
+    const double pub_reduction =
+        static_cast<double>(xml_bytes) / static_cast<double>(bin_bytes ? bin_bytes : 1);
+    const double sub_reduction = static_cast<double>(xml_sub_bytes) /
+                                 static_cast<double>(bin_sub_bytes ? bin_sub_bytes : 1);
+    bench::Table codec_table({"traffic", "xml bytes", "binary bytes", "reduction"});
+    codec_table.row({"publish x2000", bench::fmt("%llu", (unsigned long long)xml_bytes),
+                     bench::fmt("%llu", (unsigned long long)bin_bytes),
+                     bench::fmt("%.2fx", pub_reduction)});
+    codec_table.row({"subscribe x200", bench::fmt("%llu", (unsigned long long)xml_sub_bytes),
+                     bench::fmt("%llu", (unsigned long long)bin_sub_bytes),
+                     bench::fmt("%.2fx", sub_reduction)});
+    std::printf("  binary reduction: %.2fx %s, round-trip failures: %llu\n", pub_reduction,
+                pub_reduction >= 2.0 ? "(>=2x target met)" : "(BELOW 2x TARGET)",
+                (unsigned long long)roundtrip_failures);
+    snap.add("codec.publish.xml_bytes", xml_bytes);
+    snap.add("codec.publish.binary_bytes", bin_bytes);
+    snap.add("codec.publish.roundtrip_failures", roundtrip_failures);
+    snap.add_scaled("codec.publish.reduction", pub_reduction);
+    snap.add("codec.subscribe.xml_bytes", xml_sub_bytes);
+    snap.add("codec.subscribe.binary_bytes", bin_sub_bytes);
+    snap.add_scaled("codec.subscribe.reduction", sub_reduction);
   }
 
   std::printf("\nShape check: the incremental engine's per-event cost is flat in\n"

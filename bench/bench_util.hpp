@@ -183,6 +183,25 @@ inline unsigned threads_arg(int argc, char** argv) {
   return 1;
 }
 
+/// Parses a `--codec <name>` argument pair: wire codec for sections
+/// that route through a SienaNetwork ("xml" or "binary").  Defaults to
+/// "xml" so snapshot baselines keep pricing the interop encoding.
+inline std::string codec_arg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--codec") return argv[i + 1];
+  }
+  return "xml";
+}
+
+/// Parses a `--batch` flag: enable per-link batching (flush window 0 —
+/// same-tick sends to one neighbour coalesce) on the same sections.
+inline bool batch_arg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--batch") return true;
+  }
+  return false;
+}
+
 /// Parses a `--trace <path>` argument pair ("" when absent).
 inline std::string trace_arg(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; ++i) {

@@ -19,6 +19,27 @@ namespace aa {
 
 using Bytes = std::vector<std::uint8_t>;
 
+/// Bytes a LEB128 varint encoding of `v` occupies (1..10).
+constexpr std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// ZigZag maps signed to unsigned so small-magnitude negatives stay
+/// short as varints.
+constexpr std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+constexpr std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
 /// Appends primitive values to a growing byte buffer.
 class BufWriter {
  public:
@@ -30,8 +51,25 @@ class BufWriter {
   void f64(double v) { raw(&v, 8); }
   void boolean(bool v) { u8(v ? 1 : 0); }
 
+  /// LEB128 varint (the compact binary wire codec's integer form).
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      u8(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    u8(static_cast<std::uint8_t>(v));
+  }
+  void svarint(std::int64_t v) { varint(zigzag(v)); }
+
   void str(std::string_view s) {
     u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+
+  /// Varint-length-prefixed string (binary codec; str() keeps the
+  /// 4-byte prefix used by the store/bundle formats).
+  void vstr(std::string_view s) {
+    varint(s.size());
     raw(s.data(), s.size());
   }
 
@@ -41,6 +79,10 @@ class BufWriter {
   }
 
   void uid(const Uid160& id) { raw(id.bytes().data(), 20); }
+
+  /// Appends raw bytes with no length prefix (frame bodies whose length
+  /// the caller has already written).
+  void append(std::span<const std::uint8_t> b) { raw(b.data(), b.size()); }
 
   const Bytes& data() const& { return buf_; }
   Bytes take() && { return std::move(buf_); }
@@ -89,6 +131,29 @@ class BufReader {
   }
   bool boolean() { return u8() != 0; }
 
+  /// LEB128 varint; fails (like every accessor) on truncation and on
+  /// encodings longer than 10 bytes, so corrupt input cannot loop.
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+      const std::uint8_t byte = u8();
+      if (failed_) return 0;
+      v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return v;
+    }
+    failed_ = true;
+    return 0;
+  }
+  std::int64_t svarint() { return unzigzag(varint()); }
+
+  std::string vstr() {
+    const std::uint64_t n = varint();
+    if (!check(n)) return {};
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
   std::string str() {
     const std::uint32_t n = u32();
     if (!check(n)) return {};
@@ -110,6 +175,16 @@ class BufReader {
     std::array<std::uint8_t, 20> b{};
     raw(b.data(), 20);
     return Uid160(b);
+  }
+
+  /// Consumes `n` bytes and returns them as a view into the input
+  /// (empty + failed on truncation).  Used for length-delimited frame
+  /// members that an inner reader then decodes.
+  std::span<const std::uint8_t> view(std::size_t n) {
+    if (!check(n)) return {};
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
   }
 
   bool failed() const { return failed_; }

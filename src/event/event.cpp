@@ -31,6 +31,8 @@ struct Event::EventData {
   // handles on first use — benign in the single-threaded simulator (and
   // idempotent: every writer stores the same value).
   mutable std::size_t wire_cache = 0;
+  // Same contract for the binary codec's length (wire::Codec kBinary).
+  mutable std::size_t binary_cache = 0;
 
   Attr* find(AtomId atom) {
     auto it = std::lower_bound(
@@ -57,6 +59,7 @@ Event::EventData& Event::mutable_data() {
     data_ = std::make_shared<EventData>(*data_);
   }
   data_->wire_cache = 0;
+  data_->binary_cache = 0;
   return *data_;
 }
 
@@ -190,6 +193,103 @@ std::size_t Event::wire_size() const {
   }
   if (data_->wire_cache == 0) data_->wire_cache = to_xml_string().size();
   return data_->wire_cache;
+}
+
+namespace {
+
+/// Byte cost of one binary-encoded value (to_binary's value shapes).
+std::size_t binary_value_size(const AttrValue& v) {
+  switch (v.type()) {
+    case ValueType::kString:
+      return varint_size(v.str().size()) + v.str().size();
+    case ValueType::kInt:
+      return varint_size(zigzag(v.integer()));
+    case ValueType::kReal:
+      return 8;
+    case ValueType::kBool:
+      return 1;
+  }
+  return 0;
+}
+
+void write_binary_value(BufWriter& w, const AttrValue& v) {
+  switch (v.type()) {
+    case ValueType::kString:
+      w.vstr(v.str());
+      return;
+    case ValueType::kInt:
+      w.svarint(v.integer());
+      return;
+    case ValueType::kReal:
+      w.f64(v.real());
+      return;
+    case ValueType::kBool:
+      w.boolean(v.boolean());
+      return;
+  }
+}
+
+Result<AttrValue> read_binary_value(BufReader& r, ValueType type) {
+  switch (type) {
+    case ValueType::kString:
+      return AttrValue(r.vstr());
+    case ValueType::kInt:
+      return AttrValue(r.svarint());
+    case ValueType::kReal:
+      return AttrValue(r.f64());
+    case ValueType::kBool:
+      return AttrValue(r.boolean());
+  }
+  return Status(Code::kInvalidArgument, "unknown value type tag");
+}
+
+}  // namespace
+
+void Event::to_binary(BufWriter& w) const {
+  const AttrList& attrs = attributes();
+  w.varint(attrs.size());
+  for (std::uint32_t i : name_order(attrs)) {
+    const auto& [atom, value] = attrs[i];
+    w.vstr(atom_name(atom));
+    w.u8(static_cast<std::uint8_t>(value.type()));
+    write_binary_value(w, value);
+  }
+}
+
+Result<Event> Event::from_binary(BufReader& r) {
+  const std::uint64_t count = r.varint();
+  Event e;
+  for (std::uint64_t i = 0; i < count && !r.failed(); ++i) {
+    const std::string name = r.vstr();
+    const std::uint8_t tag = r.u8();
+    if (r.failed()) break;
+    if (tag > static_cast<std::uint8_t>(ValueType::kBool)) {
+      return Status(Code::kInvalidArgument,
+                    "bad attribute type tag " + std::to_string(tag));
+    }
+    auto value = read_binary_value(r, static_cast<ValueType>(tag));
+    if (!value.is_ok()) return value.status();
+    if (r.failed()) break;
+    e.set(name, std::move(value).value());
+  }
+  if (r.failed()) {
+    return Status(Code::kInvalidArgument, "truncated binary event");
+  }
+  return e;
+}
+
+std::size_t Event::binary_wire_size() const {
+  auto compute = [](const AttrList& attrs) {
+    std::size_t size = varint_size(attrs.size());
+    for (const auto& [atom, value] : attrs) {
+      const std::string& name = atom_name(atom);
+      size += varint_size(name.size()) + name.size() + 1 + binary_value_size(value);
+    }
+    return size;
+  };
+  if (data_ == nullptr) return compute(AttrList{});
+  if (data_->binary_cache == 0) data_->binary_cache = compute(data_->attrs);
+  return data_->binary_cache;
 }
 
 std::string Event::describe() const {

@@ -33,6 +33,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/bytes.hpp"
 #include "common/small_vector.hpp"
 #include "common/status.hpp"
 #include "common/time.hpp"
@@ -125,6 +126,20 @@ class Event {
   /// Lazily computed and cached in the shared payload: one
   /// serialisation per event, not per send.
   std::size_t wire_size() const;
+
+  /// Compact binary form (wire::Codec's kBinary encoding): varint
+  /// attribute count, then per attribute — in *name* order, the same
+  /// process-independent canonical order the XML form uses — a
+  /// varint-length name, a one-byte type tag, and a type-shaped value
+  /// (varint-length string / zigzag-varint int / 8-byte real / 1-byte
+  /// bool).  Names travel as spelled because AtomIds are process-local
+  /// interning handles; decoding re-interns.
+  void to_binary(BufWriter& w) const;
+  static Result<Event> from_binary(BufReader& r);
+
+  /// Exact byte length of to_binary(), lazily computed (arithmetic, no
+  /// encoding pass) and cached in the shared payload like wire_size().
+  std::size_t binary_wire_size() const;
 
   /// Compact human-readable rendering for logs (name order).
   std::string describe() const;

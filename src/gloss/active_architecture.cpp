@@ -37,6 +37,17 @@ ActiveArchitecture::ActiveArchitecture(Config config) : config_(config) {
   }
   bus_ = std::make_unique<pubsub::SienaNetwork>(*net_, broker_hosts);
   bus_->connect_tree();
+  const wire::WireCodec bus_codec =
+      wire::codec_from_name(config_.codec).value_or(wire::WireCodec::kXml);
+  bus_->set_codec(bus_codec);
+  if (config_.batch_window_us >= 0) {
+    // Frames carry the overlay's negotiated form; with a uniform bus
+    // codec that is simply the configured one.
+    const wire::Codec& frame_codec = wire::codec(bus_codec);
+    net_->enable_batching(config_.batch_window_us, [&frame_codec](auto sizes) {
+      return frame_codec.frame_size(sizes);
+    });
+  }
   if (config_.broker_aggregation) {
     bus_->enable_aggregation(pubsub::BrokerAggregationParams{
         config_.aggregation_attribute, config_.aggregation_groups});

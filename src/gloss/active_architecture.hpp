@@ -97,6 +97,17 @@ class ActiveArchitecture {
     SimDuration timeline_interval = 0;
     /// Ring-buffer cap on retained timeline entries (oldest drop first).
     std::size_t timeline_retention = 1024;
+    /// Wire codec for the event bus: "xml" (interop/golden default) or
+    /// "binary" (length-prefixed frames, DESIGN.md §12).  Applied as
+    /// every host's capability; per-link negotiation picks binary only
+    /// when both endpoints support it (override individual hosts via
+    /// bus().set_host_codec()).
+    std::string codec = "xml";
+    /// Per-link send batching flush window in microseconds of virtual
+    /// time (Network::enable_batching).  < 0 disables batching (the
+    /// default); 0 coalesces sends staged at the same virtual instant
+    /// into one frame flushed at the next scheduler tick.
+    std::int64_t batch_window_us = -1;
   };
 
   explicit ActiveArchitecture(Config config);

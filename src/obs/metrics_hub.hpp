@@ -53,6 +53,10 @@ inline void export_stats(sim::MetricsRegistry& reg, const std::string& ns,
   reg.add(ns + ".duplicated", s.duplicated);
   reg.add(ns + ".retransmits", s.retransmits);
   reg.add(ns + ".dropped_by_fault", s.dropped_by_fault);
+  reg.add(ns + ".packets_sent", s.packets_sent());
+  reg.add(ns + ".batch.frames", s.frames_sent);
+  reg.add(ns + ".batch.members", s.batched_messages);
+  reg.add(ns + ".batch.flushes", s.batch_flushes);
 }
 
 inline void export_stats(sim::MetricsRegistry& reg, const std::string& ns,

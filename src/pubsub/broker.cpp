@@ -114,7 +114,7 @@ void Broker::send_broker(sim::HostId neighbour, std::any body, std::size_t wire_
 void Broker::send_subscribe(sim::HostId neighbour, std::uint64_t id,
                             const event::Filter& filter) {
   SubscribeMsg msg{id, filter};
-  const std::size_t size = subscribe_wire_size(msg);
+  const std::size_t size = wire_size(codec_to(neighbour), msg);
   send_broker(neighbour, std::any(std::move(msg)), size);
   ++stats_.subscriptions_forwarded;
 }
@@ -181,7 +181,7 @@ void Broker::handle_advertise(std::uint64_t id, const event::Filter& filter, Ifa
   for (sim::HostId n : neighbours_) {
     if (source.kind == Iface::Kind::kBroker && source.host == n) continue;
     send_broker(n, std::any(AdvertiseMsg{id, filter}),
-                advertise_wire_size(AdvertiseMsg{id, filter}));
+                wire_size(codec_to(n), AdvertiseMsg{id, filter}));
   }
   if (!advertisement_forwarding_) {
     checkpoint();
@@ -246,7 +246,8 @@ void Broker::handle_unsubscribe(std::uint64_t id, Iface source) {
     auto fwd = forwarded_.find(n);
     if (fwd == forwarded_.end() || !fwd->second.contains(id)) continue;
     fwd->second.erase(id);
-    send_broker(n, std::any(UnsubscribeMsg{id}), unsubscribe_wire_size());
+    send_broker(n, std::any(UnsubscribeMsg{id}),
+                wire_size(codec_to(n), UnsubscribeMsg{id}));
 
     // The removed subscription may have been covering others.  Re-forward
     // in one batch: first collect every entry now uncovered in direction
@@ -389,7 +390,7 @@ void Broker::aggregate_retract(sim::HostId neighbour, std::size_t group) {
   if (fwd != forwarded_.end()) fwd->second.erase(aggregate_id(neighbour, group));
   ++stats_.aggregate_retractions;
   send_broker(neighbour, std::any(UnsubscribeMsg{aggregate_id(neighbour, group)}),
-              unsubscribe_wire_size());
+              wire_size(codec_to(neighbour), UnsubscribeMsg{aggregate_id(neighbour, group)}));
 }
 
 void Broker::rebuild_aggregates() {
@@ -466,12 +467,12 @@ void Broker::route_publish(const event::Event& e, std::optional<sim::HostId> arr
                           ";local=" + std::to_string(deliver_to.size()));
     }
   }
-  const std::size_t size = e.wire_size();
   for (sim::HostId n : forward_to) {
-    send_broker(n, std::any(PublishMsg{e, pub_id}), size);
+    send_broker(n, std::any(PublishMsg{e, pub_id}),
+                wire_size(codec_to(n), PublishMsg{e, pub_id}));
   }
   for (sim::HostId c : deliver_to) {
-    net_.send(host_, c, client_proto_, DeliverMsg{e}, size);
+    net_.send(host_, c, client_proto_, DeliverMsg{e}, wire_size(codec_to(c), DeliverMsg{e}));
     ++stats_.deliveries;
   }
 }
@@ -585,7 +586,8 @@ void Broker::send_sync_request(sim::HostId peer) {
   SyncState& sync = pending_sync_[peer];
   if (sync.delay == 0) sync.delay = dur_params_.sync_timeout;
   ++stats_.sync_requests;
-  send_broker(peer, std::any(SyncRequestMsg{sync_round_}), sync_request_wire_size());
+  send_broker(peer, std::any(SyncRequestMsg{sync_round_}),
+              wire_size(codec_to(peer), SyncRequestMsg{sync_round_}));
   sync.timer =
       net_.scheduler().after(sync.delay, [this, peer]() { on_sync_timeout(peer); });
 }
@@ -637,7 +639,7 @@ void Broker::handle_sync_request(sim::HostId peer, std::uint64_t round) {
     if (adv.source.kind == Iface::Kind::kBroker && adv.source.host == peer) continue;
     reply.advertisements.push_back(AdvertiseMsg{id, adv.filter});
   }
-  const std::size_t size = sync_reply_wire_size(reply);
+  const std::size_t size = wire_size(codec_to(peer), reply);
   send_broker(peer, std::any(std::move(reply)), size);
 }
 

@@ -27,6 +27,7 @@
 #include "pubsub/messages.hpp"
 #include "sim/durable_disk.hpp"
 #include "sim/network.hpp"
+#include "wire/codec.hpp"
 
 namespace aa::sim {
 class ReliableTransport;
@@ -127,6 +128,15 @@ class Broker {
   /// unaffected.  Wired up by SienaNetwork::enable_reliable_transport();
   /// nullptr restores the raw path.
   void set_transport(sim::ReliableTransport* transport) { transport_ = transport; }
+
+  /// Per-link codec negotiation table (wire/codec.hpp).  The map is
+  /// owned by SienaNetwork and shared across its brokers; nullptr (the
+  /// default) means XML everywhere.  Wire sizes of outgoing messages
+  /// are computed against codec_to(peer) at each send site.
+  void set_codec_map(const wire::CodecMap* codecs) { codecs_ = codecs; }
+  const wire::Codec& codec_to(sim::HostId peer) const {
+    return codecs_ != nullptr ? codecs_->link(host_, peer) : wire::xml_codec();
+  }
 
   /// Declares a neighbour broker (call on both endpoints; the overlay
   /// must remain acyclic — SienaNetwork enforces a tree).
@@ -248,6 +258,7 @@ class Broker {
   std::string broker_proto_;
   std::string client_proto_;
   sim::ReliableTransport* transport_ = nullptr;
+  const wire::CodecMap* codecs_ = nullptr;
   bool advertisement_forwarding_ = false;
   bool indexed_matching_ = true;
   bool aggregation_ = false;

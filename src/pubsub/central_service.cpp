@@ -2,6 +2,8 @@
 
 #include <set>
 
+#include "wire/codec.hpp"
+
 namespace aa::pubsub {
 
 CentralService::CentralService(sim::Network& net, sim::HostId server_host)
@@ -31,7 +33,7 @@ std::uint64_t CentralService::subscribe(sim::HostId client, const event::Filter&
   const std::uint64_t id = next_sub_id_++;
   client_subs_[client].push_back(ClientSub{id, filter, std::move(deliver)});
   SubscribeMsg msg{id, filter};
-  const std::size_t size = subscribe_wire_size(msg);
+  const std::size_t size = wire_size(wire::xml_codec(), msg);
   net_.send(client, server_, kBrokerProto, std::move(msg), size);
   return id;
 }
@@ -41,12 +43,12 @@ void CentralService::unsubscribe(sim::HostId client, std::uint64_t subscription_
   std::erase_if(client_subs_[client],
                 [&](const ClientSub& s) { return s.id == subscription_id; });
   net_.send(client, server_, kBrokerProto, UnsubscribeMsg{subscription_id},
-            unsubscribe_wire_size());
+            wire_size(wire::xml_codec(), UnsubscribeMsg{subscription_id}));
 }
 
 void CentralService::publish(sim::HostId client, const event::Event& e) {
   PublishMsg pub{e};
-  const std::size_t size = publish_wire_size(pub);
+  const std::size_t size = wire_size(wire::xml_codec(), pub);
   net_.send(client, server_, kBrokerProto, std::move(pub), size);
 }
 
@@ -73,7 +75,7 @@ void CentralService::on_server_message(const sim::Packet& packet) {
         if (s.filter.matches(pub->event)) deliver_to.insert(s.client);
       }
     }
-    const std::size_t size = pub->event.wire_size();
+    const std::size_t size = wire_size(wire::xml_codec(), DeliverMsg{pub->event});
     for (sim::HostId c : deliver_to) {
       net_.send(server_, c, kClientProto, DeliverMsg{pub->event}, size);
     }

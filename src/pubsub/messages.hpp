@@ -1,13 +1,21 @@
 // Wire messages of the pub/sub protocols.  Bodies travel as std::any in
-// simulator packets; wire_size() gives the byte count charged to the
-// network (see sim/network.hpp for the accounting model).
+// simulator packets; the byte count charged to the network comes from
+// the link's negotiated wire::Codec (wire/codec.hpp) via the
+// wire_size() overloads below — no message computes its size anywhere
+// else (see sim/network.hpp for the accounting model).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "common/bytes.hpp"
+#include "common/status.hpp"
 #include "event/event.hpp"
 #include "event/filter.hpp"
+
+namespace aa::wire {
+class Codec;
+}  // namespace aa::wire
 
 namespace aa::pubsub {
 
@@ -67,38 +75,37 @@ struct SyncReplyMsg {
   std::vector<AdvertiseMsg> advertisements;
 };
 
-// Wire-size helpers: the single place the byte cost of each message
-// kind is defined, shared by every event-service implementation
-// (siena, flooding, central, mobility) so their traffic accounting
-// stays comparable.
-inline std::size_t filter_wire_size(const event::Filter& f) {
-  return f.describe().size() + 16;
-}
+// Codec-backed wire sizes: the byte count a standalone datagram of the
+// message is charged on the link's negotiated codec.  For events the
+// underlying serialised length is computed once and cached in the
+// shared payload, so a broker forwarding to k neighbours sizes once,
+// not k times (whichever codec the links speak).
+std::size_t wire_size(const wire::Codec& c, const SubscribeMsg& m);
+std::size_t wire_size(const wire::Codec& c, const AdvertiseMsg& m);
+std::size_t wire_size(const wire::Codec& c, const UnsubscribeMsg& m);
+std::size_t wire_size(const wire::Codec& c, const PublishMsg& m);
+std::size_t wire_size(const wire::Codec& c, const DeliverMsg& m);
+std::size_t wire_size(const wire::Codec& c, const SyncRequestMsg& m);
+std::size_t wire_size(const wire::Codec& c, const SyncReplyMsg& m);
 
-inline std::size_t subscribe_wire_size(const SubscribeMsg& m) {
-  return filter_wire_size(m.filter) + 8;
-}
+// Real byte encode/decode of each message's body under a codec
+// (wire/codec.hpp holds the framing that wraps these).  The simulator
+// ships struct bodies and charges wire_size(); these are exercised at
+// the delivery edge and by the codec round-trip/golden/fuzz tests.
+void encode(BufWriter& w, const wire::Codec& c, const SubscribeMsg& m);
+void encode(BufWriter& w, const wire::Codec& c, const AdvertiseMsg& m);
+void encode(BufWriter& w, const wire::Codec& c, const UnsubscribeMsg& m);
+void encode(BufWriter& w, const wire::Codec& c, const PublishMsg& m);
+void encode(BufWriter& w, const wire::Codec& c, const DeliverMsg& m);
+void encode(BufWriter& w, const wire::Codec& c, const SyncRequestMsg& m);
+void encode(BufWriter& w, const wire::Codec& c, const SyncReplyMsg& m);
 
-inline std::size_t advertise_wire_size(const AdvertiseMsg& m) {
-  return filter_wire_size(m.filter) + 8;
-}
-
-inline constexpr std::size_t unsubscribe_wire_size() { return 16; }
-
-/// Publish and deliver both charge the event's XML length — computed
-/// once per event and cached in its shared payload, so a broker
-/// forwarding to k neighbours serialises once, not k times.
-inline std::size_t publish_wire_size(const PublishMsg& m) { return m.event.wire_size(); }
-
-inline std::size_t deliver_wire_size(const DeliverMsg& m) { return m.event.wire_size(); }
-
-inline constexpr std::size_t sync_request_wire_size() { return 16; }
-
-inline std::size_t sync_reply_wire_size(const SyncReplyMsg& m) {
-  std::size_t size = 24;
-  for (const SubscribeMsg& s : m.subscriptions) size += subscribe_wire_size(s);
-  for (const AdvertiseMsg& a : m.advertisements) size += advertise_wire_size(a);
-  return size;
-}
+Result<SubscribeMsg> decode_subscribe(BufReader& r, const wire::Codec& c);
+Result<AdvertiseMsg> decode_advertise(BufReader& r, const wire::Codec& c);
+Result<UnsubscribeMsg> decode_unsubscribe(BufReader& r, const wire::Codec& c);
+Result<PublishMsg> decode_publish(BufReader& r, const wire::Codec& c);
+Result<DeliverMsg> decode_deliver(BufReader& r, const wire::Codec& c);
+Result<SyncRequestMsg> decode_sync_request(BufReader& r, const wire::Codec& c);
+Result<SyncReplyMsg> decode_sync_reply(BufReader& r, const wire::Codec& c);
 
 }  // namespace aa::pubsub

@@ -15,6 +15,7 @@ SienaNetwork::SienaNetwork(sim::Network& net, std::vector<sim::HostId> broker_ho
       stalled_(net.host_count()) {
   for (sim::HostId h : broker_hosts_) {
     auto broker = std::make_unique<Broker>(net_, h, broker_proto_, client_proto_);
+    broker->set_codec_map(&codecs_);
     Broker* raw = broker.get();
     net_.register_handler(h, broker_proto_,
                           [raw](const sim::Packet& p) { raw->on_message(p); });
@@ -78,9 +79,10 @@ void SienaNetwork::attach_client(sim::HostId client_host, sim::HostId broker_hos
   // access broker.  Tear them down there and re-issue them at the new
   // one, or events keep flowing to a broker the client no longer reads.
   for (const auto& [id, sub] : state.subs) {
-    net_.send(client_host, previous, broker_proto_, UnsubscribeMsg{id}, unsubscribe_wire_size());
+    net_.send(client_host, previous, broker_proto_, UnsubscribeMsg{id},
+              wire_size(codecs_.link(client_host, previous), UnsubscribeMsg{id}));
     SubscribeMsg msg{id, sub.filter};
-    const std::size_t size = subscribe_wire_size(msg);
+    const std::size_t size = wire_size(codecs_.link(client_host, broker_host), msg);
     net_.send(client_host, broker_host, broker_proto_, std::move(msg), size);
   }
 }
@@ -116,7 +118,7 @@ std::uint64_t SienaNetwork::subscribe(sim::HostId client, const event::Filter& f
   state.subs.emplace(id, ClientSub{filter, std::move(deliver)});
   state.index.add(id, filter);
   SubscribeMsg msg{id, filter};
-  const std::size_t size = subscribe_wire_size(msg);
+  const std::size_t size = wire_size(codecs_.link(client, state.access_broker), msg);
   net_.send(client, state.access_broker, broker_proto_, std::move(msg), size);
   return id;
 }
@@ -126,7 +128,8 @@ void SienaNetwork::unsubscribe(sim::HostId client, std::uint64_t subscription_id
   state.subs.erase(subscription_id);
   state.index.remove(subscription_id);
   net_.send(client, state.access_broker, broker_proto_, UnsubscribeMsg{subscription_id},
-            unsubscribe_wire_size());
+            wire_size(codecs_.link(client, state.access_broker),
+                      UnsubscribeMsg{subscription_id}));
 }
 
 void SienaNetwork::publish(sim::HostId client, const event::Event& e) {
@@ -141,7 +144,7 @@ void SienaNetwork::publish(sim::HostId client, const event::Event& e) {
   // run, so brokers can discard a publication a crash/fault overlap
   // re-injected (see PublishMsg::pub_id).
   PublishMsg pub{e, ++next_pub_id_};
-  const std::size_t size = publish_wire_size(pub);
+  const std::size_t size = wire_size(codecs_.link(client, state.access_broker), pub);
   net_.send(client, state.access_broker, broker_proto_, std::move(pub), size);
 }
 
@@ -249,7 +252,7 @@ void SienaNetwork::advertise(sim::HostId client, const event::Filter& filter) {
       event::Advertisement{id, "host-" + std::to_string(client), filter});
   ClientState& state = client_state(client);
   AdvertiseMsg msg{id, filter};
-  const std::size_t size = advertise_wire_size(msg);
+  const std::size_t size = wire_size(codecs_.link(client, state.access_broker), msg);
   net_.send(client, state.access_broker, broker_proto_, std::move(msg), size);
 }
 
@@ -260,7 +263,7 @@ void SienaNetwork::re_advertise(sim::HostId client, std::uint64_t id,
   }
   ClientState& state = client_state(client);
   AdvertiseMsg msg{id, filter};
-  const std::size_t size = advertise_wire_size(msg);
+  const std::size_t size = wire_size(codecs_.link(client, state.access_broker), msg);
   net_.send(client, state.access_broker, broker_proto_, std::move(msg), size);
 }
 

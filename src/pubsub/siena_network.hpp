@@ -68,6 +68,17 @@ class SienaNetwork final : public EventService {
   void enable_reliable_transport(const sim::ReliableParams& params = {});
   sim::ReliableTransport* reliable_transport() { return transport_.get(); }
 
+  /// Wire codec negotiation (wire/codec.hpp).  set_codec switches the
+  /// whole service (every host capability) to `c`; set_host_codec
+  /// overrides a single host, e.g. a legacy XML-only client in an
+  /// otherwise binary overlay.  A link uses the binary codec only when
+  /// *both* endpoints advertise it, so mixed deployments degrade to XML
+  /// per link rather than per service.  Affects accounted wire sizes
+  /// only — message bodies stay in-memory structs in the simulator.
+  void set_codec(wire::WireCodec c) { codecs_.set_default(c); }
+  void set_host_codec(sim::HostId host, wire::WireCodec c) { codecs_.set_host(host, c); }
+  const wire::CodecMap& codec_map() const { return codecs_; }
+
   /// Checkpoints every broker's routing tables to `disk` and, with the
   /// reliable transport enabled, parks broker traffic the transport
   /// gave up on (peer crashed — incarnation give-up) in a stalled queue
@@ -145,6 +156,7 @@ class SienaNetwork final : public EventService {
   std::vector<sim::HostId> broker_hosts_;
   std::string broker_proto_;
   std::string client_proto_;
+  wire::CodecMap codecs_;
   bool indexed_matching_ = true;
   std::unique_ptr<sim::ReliableTransport> transport_;
   sim::DurableDisk* disk_ = nullptr;

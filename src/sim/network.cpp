@@ -11,6 +11,7 @@ Network::Network(Scheduler& sched, std::shared_ptr<const Topology> topo,
       topo_(std::move(topo)),
       bandwidth_bytes_per_us_(bandwidth_bytes_per_us),
       link_clear_(topo_->size()),
+      batch_(topo_->size()),
       up_(topo_->size(), true),
       incarnation_(topo_->size(), 0),
       delivered_per_host_(topo_->size(), 0),
@@ -171,6 +172,21 @@ void Network::end_wire_span(const Packet& packet, const char* note) {
   tracer_->end(packet.trace.parent_span, sched_.now());
 }
 
+void Network::enable_batching(SimDuration window, FrameSizer sizer) {
+  batch_window_ = std::max<SimDuration>(window, 0);
+  if (sizer) {
+    frame_sizer_ = std::move(sizer);
+  } else if (!frame_sizer_) {
+    // Default frame cost model (matches the XML codec's): a 16-byte
+    // frame header plus a 2-byte length prefix per member.
+    frame_sizer_ = [](std::span<const std::size_t> members) {
+      std::size_t total = 16;
+      for (std::size_t d : members) total += d + 2;
+      return total;
+    };
+  }
+}
+
 void Network::send(Packet packet) {
   // A packet refused at the source (host down, id out of range) never
   // reaches the wire: count it only as a drop, or bytes-per-delivery
@@ -179,32 +195,106 @@ void Network::send(Packet packet) {
     ++stats_slot().messages_dropped;
     return;
   }
-  if (tracer_ != nullptr) {
-    if (!packet.trace.active()) packet.trace = ambient_slot();
-    if (packet.trace.active()) {
-      // Receiver-side spans nest under the wire hop, so the hop becomes
-      // the packet's parent for the rest of its flight.
-      const std::uint64_t wire = tracer_->begin(packet.trace, packet.src, "net",
-                                                "wire", sched_.now());
-      tracer_->annotate(wire, packet.protocol + "->h" + std::to_string(packet.dst));
-      packet.trace.parent_span = wire;
+  // Adopt the ambient trace now (staged packets must remember the
+  // causal chain that sent them, not the flush task's).
+  if (tracer_ != nullptr && !packet.trace.active()) packet.trace = ambient_slot();
+  ++stats_slot().messages_sent;
+  // Loopback is exempt from batching, as from faults and FIFO: a host
+  // talking to itself gains nothing from a frame.
+  if (batch_window_ >= 0 && packet.src != packet.dst) {
+    stage(std::move(packet));
+    return;
+  }
+  transmit(std::move(packet), 1);
+}
+
+void Network::stage(Packet packet) {
+  const HostId src = packet.src;
+  const HostId dst = packet.dst;
+  PendingBatch& pending = batch_[src][dst];
+  pending.members.push_back(std::move(packet));
+  if (!pending.flush_scheduled) {
+    pending.flush_scheduled = true;
+    // On the source's own shard, so the flush (fault draws included)
+    // stays deterministic across shard counts.  window = 0 lands at the
+    // current virtual time, strictly after every already-queued task of
+    // this instant that could still join the batch.
+    sched_.post_to_host(src, sched_.now() + batch_window_,
+                        [this, src, dst]() { flush_link(src, dst); });
+  }
+}
+
+void Network::flush_link(HostId src, HostId dst) {
+  auto it = batch_[src].find(dst);
+  if (it == batch_[src].end() || it->second.members.empty()) {
+    batch_[src].erase(dst);
+    return;
+  }
+  PendingBatch pending = std::move(it->second);
+  batch_[src].erase(it);
+  ++stats_slot().batch_flushes;
+  if (!up_[src]) {
+    // The source crashed with the batch still in its egress queue.
+    stats_slot().messages_dropped += pending.members.size();
+    return;
+  }
+  if (pending.members.size() == 1) {
+    // A lone packet needs no frame; batching must never inflate
+    // unbatchable traffic.
+    transmit(std::move(pending.members.front()), 1);
+    return;
+  }
+  const std::size_t count = pending.members.size();
+  std::vector<std::size_t> sizes;
+  sizes.reserve(count);
+  for (const Packet& m : pending.members) sizes.push_back(m.wire_size);
+  Packet frame;
+  frame.src = src;
+  frame.dst = dst;
+  frame.protocol = kFrameProto;
+  frame.wire_size = frame_sizer_(sizes);
+  // The frame's single wire span hangs off the first traced member's
+  // chain; the other members keep their own (pre-wire) parents.
+  for (const Packet& m : pending.members) {
+    if (m.trace.active()) {
+      frame.trace = m.trace;
+      break;
     }
   }
-  ++stats_slot().messages_sent;
+  ++stats_slot().frames_sent;
+  stats_slot().batched_messages += count;
+  frame.body = BatchFrame{std::move(pending.members)};
+  transmit(std::move(frame), count);
+}
+
+void Network::transmit(Packet packet, std::size_t member_count) {
+  if (tracer_ != nullptr && packet.trace.active()) {
+    // Receiver-side spans nest under the wire hop, so the hop becomes
+    // the packet's parent for the rest of its flight.  One span per
+    // physical packet: a frame's members share it.
+    const std::uint64_t wire = tracer_->begin(packet.trace, packet.src, "net",
+                                              "wire", sched_.now());
+    tracer_->annotate(wire, packet.protocol + "->h" + std::to_string(packet.dst));
+    if (member_count > 1) {
+      tracer_->annotate(wire, "batch:" + std::to_string(member_count));
+    }
+    packet.trace.parent_span = wire;
+  }
   stats_slot().bytes_sent += packet.wire_size;
   const bool loopback = packet.src == packet.dst;
   if (!loopback && partitioned(packet.src, packet.dst)) {
-    ++stats_slot().dropped_by_fault;
+    stats_slot().dropped_by_fault += member_count;
     end_wire_span(packet, "dropped:partition");
     return;
   }
   // The source's own fault stream: send() executes on the source host's
   // shard (or at a global sync point), so the stream is single-owner and
   // its draw sequence is independent of other senders' interleaving.
+  // One draw per physical packet — a dropped frame loses every member.
   Rng& frng = fault_rng_[packet.src];
   const LinkFaults* faults = loopback ? nullptr : faults_for(packet.src, packet.dst);
   if (faults != nullptr && faults->drop > 0 && frng.chance(faults->drop)) {
-    ++stats_slot().dropped_by_fault;
+    stats_slot().dropped_by_fault += member_count;
     end_wire_span(packet, "dropped:fault");
     return;
   }
@@ -231,7 +321,7 @@ void Network::send(Packet packet) {
   const std::uint32_t incarnation = incarnation_[packet.dst];
   const HostId dst = packet.dst;
   if (faults != nullptr && faults->duplicate > 0 && frng.chance(faults->duplicate)) {
-    ++stats_slot().duplicated;
+    stats_slot().duplicated += member_count;
     Packet copy = packet;
     sched_.post_to_host(dst, arrival + 1 + jitter_draw(),
                         [this, p = std::move(copy), incarnation]() { deliver(p, incarnation); });
@@ -244,11 +334,18 @@ void Network::send(Packet packet) {
 }
 
 void Network::deliver(const Packet& packet, std::uint32_t incarnation) {
+  const bool is_frame = packet.protocol == kFrameProto;
   if (!up_[packet.dst] || incarnation_[packet.dst] != incarnation) {
     // Down, or it crashed after the packet was sent: the reincarnated
-    // host is a fresh endpoint and must not receive stale traffic.
-    ++stats_slot().messages_dropped;
+    // host is a fresh endpoint and must not receive stale traffic.  A
+    // dead frame loses every member.
+    const BatchFrame* frame = is_frame ? packet_body<BatchFrame>(packet) : nullptr;
+    stats_slot().messages_dropped += frame != nullptr ? frame->members.size() : 1;
     end_wire_span(packet, "dropped:dead-host");
+    return;
+  }
+  if (is_frame) {
+    deliver_frame(packet);
     return;
   }
   auto& table = handlers_[packet.dst];
@@ -269,6 +366,31 @@ void Network::deliver(const Packet& packet, std::uint32_t incarnation) {
   it->second(packet);
 }
 
+void Network::deliver_frame(const Packet& packet) {
+  const BatchFrame* frame = packet_body<BatchFrame>(packet);
+  if (frame == nullptr) {
+    ++stats_slot().messages_dropped;
+    end_wire_span(packet, "dropped:bad-frame");
+    return;
+  }
+  // One wire span covers the whole frame; each member then dispatches
+  // under its own causal context, exactly as an unbatched delivery
+  // would (a member without a handler is a drop, not a frame error).
+  end_wire_span(packet, nullptr);
+  auto& table = handlers_[packet.dst];
+  for (const Packet& member : frame->members) {
+    auto it = table.find(member.protocol);
+    if (it == table.end() || !it->second) {
+      ++stats_slot().messages_dropped;
+      continue;
+    }
+    ++stats_slot().messages_delivered;
+    ++delivered_per_host_[packet.dst];
+    TraceScope scope(*this, member.trace);
+    it->second(member);
+  }
+}
+
 const NetworkStats& Network::stats() const {
   stats_agg_ = {};
   for (const NetworkStats& s : stats_slots_) {
@@ -279,6 +401,9 @@ const NetworkStats& Network::stats() const {
     stats_agg_.duplicated += s.duplicated;
     stats_agg_.retransmits += s.retransmits;
     stats_agg_.dropped_by_fault += s.dropped_by_fault;
+    stats_agg_.frames_sent += s.frames_sent;
+    stats_agg_.batched_messages += s.batched_messages;
+    stats_agg_.batch_flushes += s.batch_flushes;
   }
   return stats_agg_;
 }

@@ -34,6 +34,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -76,6 +77,16 @@ struct NetworkStats {
   std::uint64_t duplicated = 0;        // link fault: packet delivered twice
   std::uint64_t retransmits = 0;       // reported by reliable transports
   std::uint64_t dropped_by_fault = 0;  // link drop faults + partitions
+  // --- per-link batching (enable_batching) ---
+  std::uint64_t frames_sent = 0;       // physical frames with >= 2 members
+  std::uint64_t batched_messages = 0;  // messages that travelled inside frames
+  std::uint64_t batch_flushes = 0;     // flush events (incl. single-member)
+
+  /// Physical packets on the wire: every message sent, minus the ones
+  /// that rode inside a frame, plus the frames themselves.
+  std::uint64_t packets_sent() const {
+    return messages_sent - batched_messages + frames_sent;
+  }
 };
 
 /// Per-link fault model.  Loopback (src == dst) traffic is exempt: a
@@ -96,6 +107,18 @@ struct LinkFaults {
   std::uint64_t seed = 0x5EED;
 
   bool any() const { return drop > 0 || duplicate > 0 || reorder > 0; }
+};
+
+/// Protocol of a coalesced batch frame; deliver() unpacks members and
+/// dispatches each to its own protocol handler, so handlers never see
+/// this name.
+inline constexpr const char* kFrameProto = "net.frame";
+
+/// Body of a coalesced frame: the member packets in staging order.
+/// Copying (fault-model duplication) copies packet handles — event
+/// bodies are COW, so a duplicated frame shares payloads.
+struct BatchFrame {
+  std::vector<Packet> members;
 };
 
 class Network {
@@ -143,6 +166,34 @@ class Network {
             std::size_t wire_size) {
     send(Packet{src, dst, protocol, std::any(std::move(body)), wire_size});
   }
+
+  // --- Per-link batching ---
+  //
+  // With batching on, non-loopback sends to the same neighbour within
+  // `window` of the first are staged and coalesced into one physical
+  // frame: one header, one trace wire-span, one fault-model draw and
+  // one scheduler delivery for the whole batch (members keep their own
+  // protocols, trace contexts and — under ReliableTransport — sequence
+  // numbers, so per-message dedup is untouched; a dropped or duplicated
+  // frame drops or duplicates every member).  window = 0 flushes at the
+  // current virtual time, i.e. the next scheduler tick: everything a
+  // causal burst sends to one neighbour "now" shares a frame, and
+  // nothing is delayed.  Staging is per *source* host (like the link
+  // FIFOs), so it is shard-safe and the resulting frames — and every
+  // digest and counter downstream — are bit-identical across shard
+  // counts.  A flush holding a single packet sends it as a plain
+  // datagram: batching never inflates unbatchable traffic.
+
+  /// Prices a frame from its members' standalone datagram sizes.  The
+  /// default models a 16-byte header + 2 bytes per member; pass the
+  /// negotiated codec's frame_size (wire/codec.hpp) for exact costs.
+  using FrameSizer = std::function<std::size_t(std::span<const std::size_t>)>;
+
+  void enable_batching(SimDuration window = 0, FrameSizer sizer = nullptr);
+  /// Stops staging new sends.  Already-staged packets still flush via
+  /// their scheduled tasks.
+  void disable_batching() { batch_window_ = -1; }
+  bool batching_enabled() const { return batch_window_ >= 0; }
 
   // --- Link fault injection ---
 
@@ -353,7 +404,16 @@ class Network {
   std::uint64_t delivered_to(HostId host) const;
 
  private:
+  /// Puts a packet on the wire now: wire span, byte accounting, fault
+  /// draws, FIFO/latency arrival, delivery scheduling.  The tail of the
+  /// pre-batching send(); flushes re-enter here with whole frames.
+  void transmit(Packet packet, std::size_t member_count);
+  /// Stages a packet on the (src, dst) batch queue, scheduling the
+  /// link's flush if none is pending.
+  void stage(Packet packet);
+  void flush_link(HostId src, HostId dst);
   void deliver(const Packet& packet, std::uint32_t incarnation);
+  void deliver_frame(const Packet& packet);
   /// Ambient trace context of the executing slot.  Grow-only: after a
   /// shard-count reduction stale high slots linger unused, which keeps
   /// the clamp below from ever aliasing two *active* slots.
@@ -388,6 +448,16 @@ class Network {
   // Indexed by src because send() always executes on the source host's
   // shard (or at a global sync point).
   std::vector<std::map<HostId, SimTime>> link_clear_;
+  // Batch staging, indexed by src for the same shard-safety reason as
+  // link_clear_: only the source's shard (or a global sync point)
+  // touches a source's queues, and flushes are posted to that shard.
+  struct PendingBatch {
+    std::vector<Packet> members;
+    bool flush_scheduled = false;
+  };
+  std::vector<std::map<HostId, PendingBatch>> batch_;
+  SimDuration batch_window_ = -1;  // < 0: batching off
+  FrameSizer frame_sizer_;
   std::vector<bool> up_;
   // Bumped each time a host goes down: packets capture the destination
   // incarnation at send time, so traffic in flight to a host that

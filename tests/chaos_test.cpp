@@ -23,6 +23,7 @@
 #include <tuple>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/hash.hpp"
 #include "common/rng.hpp"
 #include "obs/trace.hpp"
@@ -31,6 +32,10 @@
 #include "sim/durable_disk.hpp"
 #include "storage/durability.hpp"
 #include "storage/object_store.hpp"
+#include "wire/codec.hpp"
+
+#include <atomic>
+#include <span>
 
 namespace aa {
 namespace {
@@ -59,9 +64,21 @@ sim::ReliableParams chaos_reliable_params() {
   return rp;
 }
 
+// Wire-path variation for the codec/batching equivalence matrix: which
+// codec the whole bus negotiates, whether per-link batching coalesces
+// sends, and whether the digest records full rendered payloads (the
+// byte-identity check) instead of just keys.  Defaults reproduce the
+// pre-codec scenario exactly — the traffic golden depends on that.
+struct WireOptions {
+  wire::WireCodec codec = wire::WireCodec::kXml;
+  bool batching = false;
+  bool payload_digest = false;
+};
+
 struct ScenarioResult {
   Digest digest;
   std::uint64_t deliveries = 0;
+  std::uint64_t codec_roundtrip_failures = 0;
   std::uint64_t give_ups = 0;
   std::uint64_t retransmits = 0;
   std::uint64_t dropped_by_fault = 0;
@@ -99,7 +116,7 @@ auto broker_stats_key(const pubsub::BrokerStats& s) {
 ScenarioResult run_scenario(bool reliable,
                             std::function<void(sim::Network&, sim::Scheduler&)> mutate,
                             bool tracing = false, unsigned threads = 1,
-                            bool profiling = false) {
+                            bool profiling = false, WireOptions wire = {}) {
   ScenarioResult result;
   sim::Scheduler sched;
   auto topo = std::make_shared<sim::UniformTopology>(kHosts, duration::millis(5));
@@ -110,6 +127,18 @@ ScenarioResult run_scenario(bool reliable,
   SienaNetwork ps(net, {0, 1, 2, 3, 4, 5, 6, 7});
   ps.connect_tree(2);  // edges: 0-1, 0-2, 1-3, 1-4, 2-5, 2-6, 3-7
   if (reliable) ps.enable_reliable_transport(chaos_reliable_params());
+  ps.set_codec(wire.codec);
+  if (wire.batching) {
+    const wire::Codec& frame_codec = wire::codec(wire.codec);
+    net.enable_batching(0, [&frame_codec](std::span<const std::size_t> sizes) {
+      return frame_codec.frame_size(sizes);
+    });
+  }
+  // Per-delivery transparency check (payload mode): every delivered
+  // event must survive a binary encode->decode round trip with its
+  // canonical rendering intact.  Counted, not EXPECTed: the callback
+  // runs on shard threads.
+  auto roundtrip_failures = std::make_shared<std::atomic<std::uint64_t>>(0);
 
   Digest& digest = result.digest;
   for (sim::HostId h = 0; h < kHosts; ++h) {
@@ -117,8 +146,22 @@ ScenarioResult run_scenario(bool reliable,
                 // append to their own vector, never grow the shared tree
     ps.attach_client(h, h);  // co-located: client hops are loopback
     ps.subscribe(h, Filter().where("type", Op::kEq, "t" + std::to_string(h % 4)),
-                 [&digest, h](const Event& e) {
-                   digest[h].push_back(e.get_string("key").value_or("?"));
+                 [&digest, h, payload = wire.payload_digest,
+                  roundtrip_failures](const Event& e) {
+                   if (!payload) {
+                     digest[h].push_back(e.get_string("key").value_or("?"));
+                     return;
+                   }
+                   const std::string rendered = e.to_xml_string();
+                   BufWriter w;
+                   pubsub::encode(w, wire::binary_codec(), pubsub::DeliverMsg{e});
+                   BufReader r(w.data());
+                   auto back = pubsub::decode_deliver(r, wire::binary_codec());
+                   if (!back.is_ok() ||
+                       back.value().event.to_xml_string() != rendered) {
+                     ++*roundtrip_failures;
+                   }
+                   digest[h].push_back(rendered);
                  });
   }
   sched.run();  // quiesce subscription propagation on a clean network
@@ -143,6 +186,7 @@ ScenarioResult run_scenario(bool reliable,
 
   for (const auto& [h, keys] : digest) result.deliveries += keys.size();
   for (auto& [h, keys] : digest) std::sort(keys.begin(), keys.end());
+  result.codec_roundtrip_failures = roundtrip_failures->load();
   if (ps.reliable_transport() != nullptr) {
     result.give_ups = ps.reliable_transport()->stats().give_ups;
   }
@@ -216,6 +260,154 @@ TEST(Chaos, SeedSweepDigestsMatchFaultFreeOracle) {
     EXPECT_GT(chaos.dropped_by_fault, 0u) << "seed " << seed;
     EXPECT_GT(chaos.retransmits, 0u) << "seed " << seed;
   }
+}
+
+// --- Codec / batching equivalence matrix --------------------------------
+//
+// The wire codec and per-link batching are transport details: for every
+// {codec} x {batching} x {shards} configuration, 21 chaos seeds must
+// deliver the byte-identical payload set the fault-free oracle does,
+// every delivered event must survive a binary encode->decode round
+// trip, and for a fixed seed the full traffic counters must not depend
+// on the shard count.
+void sweep_codec_config(wire::WireCodec codec, bool batching) {
+  WireOptions oracle_opts;
+  oracle_opts.payload_digest = true;
+  const ScenarioResult oracle =
+      run_scenario(/*reliable=*/false, nullptr, false, 1, false, oracle_opts);
+  ASSERT_EQ(oracle.deliveries, static_cast<std::uint64_t>(kRounds) * kHosts * 2);
+  ASSERT_EQ(oracle.codec_roundtrip_failures, 0u);
+
+  WireOptions opts;
+  opts.codec = codec;
+  opts.batching = batching;
+  opts.payload_digest = true;
+  for (std::uint64_t seed = 1; seed <= 21; ++seed) {
+    ScenarioResult seq;  // threads == 1: the determinism baseline
+    for (unsigned threads : {1u, 2u, 4u}) {
+      ScenarioResult r = run_scenario(
+          /*reliable=*/true,
+          [seed](sim::Network& net, sim::Scheduler& sched) {
+            install_chaos(seed, net, sched);
+          },
+          false, threads, false, opts);
+      EXPECT_EQ(r.digest, oracle.digest)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(r.codec_roundtrip_failures, 0u)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(r.give_ups, 0u) << "seed " << seed;
+      if (threads == 1) {
+        seq = std::move(r);
+        EXPECT_GT(seq.dropped_by_fault, 0u) << "seed " << seed;
+        if (batching) EXPECT_GT(seq.net_stats.frames_sent, 0u) << "seed " << seed;
+      } else {
+        EXPECT_EQ(net_stats_key(r.net_stats), net_stats_key(seq.net_stats))
+            << "seed " << seed << " threads " << threads;
+        EXPECT_EQ(r.net_stats.frames_sent, seq.net_stats.frames_sent)
+            << "seed " << seed << " threads " << threads;
+        EXPECT_EQ(r.net_stats.batched_messages, seq.net_stats.batched_messages)
+            << "seed " << seed << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(ChaosCodec, XmlUnbatchedMatrixMatchesOracle) {
+  sweep_codec_config(wire::WireCodec::kXml, /*batching=*/false);
+}
+TEST(ChaosCodec, XmlBatchedMatrixMatchesOracle) {
+  sweep_codec_config(wire::WireCodec::kXml, /*batching=*/true);
+}
+TEST(ChaosCodec, BinaryUnbatchedMatrixMatchesOracle) {
+  sweep_codec_config(wire::WireCodec::kBinary, /*batching=*/false);
+}
+TEST(ChaosCodec, BinaryBatchedMatrixMatchesOracle) {
+  sweep_codec_config(wire::WireCodec::kBinary, /*batching=*/true);
+}
+
+TEST(ChaosCodec, BinaryShrinksTrafficAndBatchingCutsPackets) {
+  // Clean-network cross-checks on the same workload the golden pins:
+  // the binary codec must at least halve bytes on the wire, and
+  // batching must move multiple messages per physical packet, all
+  // without touching the delivered payload set.
+  WireOptions xml_opts;
+  xml_opts.payload_digest = true;
+  const ScenarioResult xml =
+      run_scenario(/*reliable=*/false, nullptr, false, 1, false, xml_opts);
+
+  WireOptions bin_opts = xml_opts;
+  bin_opts.codec = wire::WireCodec::kBinary;
+  const ScenarioResult bin =
+      run_scenario(/*reliable=*/false, nullptr, false, 1, false, bin_opts);
+  EXPECT_EQ(bin.digest, xml.digest);
+  EXPECT_EQ(bin.messages_sent, xml.messages_sent);
+  EXPECT_LE(bin.bytes_sent * 2, xml.bytes_sent)
+      << "binary must be at least a 2x bytes-on-wire reduction";
+
+  WireOptions batched = bin_opts;
+  batched.batching = true;
+  const ScenarioResult coalesced =
+      run_scenario(/*reliable=*/false, nullptr, false, 1, false, batched);
+  EXPECT_EQ(coalesced.digest, xml.digest);
+  EXPECT_GT(coalesced.net_stats.frames_sent, 0u);
+  EXPECT_LT(coalesced.net_stats.packets_sent(), coalesced.net_stats.messages_sent);
+  // Binary frames share one envelope across members: coalescing must
+  // not cost bytes relative to standalone binary datagrams.
+  EXPECT_LE(coalesced.bytes_sent, bin.bytes_sent);
+}
+
+TEST(ChaosCodec, MixedOverlayDegradesPerLinkNotPerService) {
+  // One XML-only broker in an otherwise binary overlay: links touching
+  // it fall back to XML, everything else stays binary, and delivery is
+  // unaffected.  Wire sizes differ per link, so total bytes must land
+  // strictly between all-binary and all-XML.
+  WireOptions xml_opts;
+  xml_opts.payload_digest = true;
+  const ScenarioResult xml =
+      run_scenario(/*reliable=*/false, nullptr, false, 1, false, xml_opts);
+  WireOptions bin_opts = xml_opts;
+  bin_opts.codec = wire::WireCodec::kBinary;
+  const ScenarioResult bin =
+      run_scenario(/*reliable=*/false, nullptr, false, 1, false, bin_opts);
+
+  ScenarioResult mixed;
+  {
+    sim::Scheduler sched;
+    auto topo = std::make_shared<sim::UniformTopology>(kHosts, duration::millis(5));
+    sim::Network net(sched, topo);
+    SienaNetwork ps(net, {0, 1, 2, 3, 4, 5, 6, 7});
+    ps.connect_tree(2);
+    ps.set_codec(wire::WireCodec::kBinary);
+    ps.set_host_codec(1, wire::WireCodec::kXml);  // legacy interior broker
+    Digest& digest = mixed.digest;
+    for (sim::HostId h = 0; h < kHosts; ++h) {
+      digest[h];
+      ps.attach_client(h, h);
+      ps.subscribe(h, Filter().where("type", Op::kEq, "t" + std::to_string(h % 4)),
+                   [&digest, h](const Event& e) {
+                     digest[h].push_back(e.to_xml_string());
+                   });
+    }
+    sched.run();
+    net.reset_stats();
+    for (int r = 0; r < kRounds; ++r) {
+      for (sim::HostId p = 0; p < kHosts; ++p) {
+        const SimDuration when = duration::millis(5) *
+                                 static_cast<SimDuration>(r * 8 + static_cast<int>(p) + 1);
+        sched.after(when, [&ps, p, r] {
+          Event e("t" + std::to_string((static_cast<int>(p) + r) % 4));
+          e.set("key", "p" + std::to_string(p) + "r" + std::to_string(r));
+          ps.publish(p, e);
+        });
+      }
+    }
+    sched.run();
+    for (auto& [h, keys] : digest) std::sort(keys.begin(), keys.end());
+    mixed.bytes_sent = net.stats().bytes_sent;
+  }
+  EXPECT_EQ(mixed.digest, xml.digest);
+  EXPECT_GT(mixed.bytes_sent, bin.bytes_sent);
+  EXPECT_LT(mixed.bytes_sent, xml.bytes_sent);
 }
 
 TEST(Chaos, CleanNetworkTrafficBitIdenticalGolden) {

@@ -1,0 +1,434 @@
+// Tests for the negotiable wire codec layer (wire/codec.hpp): exact
+// binary sizes, encode/decode round-trips for every message kind, the
+// golden byte fixture pinning the binary frame layout (the analogue of
+// the XML corpus SHA-1 pin), a truncation/corruption fuzz loop, the
+// legacy XML size formulas the chaos golden counters depend on, and
+// capability-based codec negotiation.
+#include <gtest/gtest.h>
+
+#include <any>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "event/event.hpp"
+#include "event/filter.hpp"
+#include "pubsub/messages.hpp"
+#include "wire/codec.hpp"
+
+namespace aa::wire {
+namespace {
+
+using event::AttrValue;
+using event::Event;
+using event::Filter;
+using event::Op;
+using pubsub::AdvertiseMsg;
+using pubsub::decode_publish;
+using pubsub::decode_subscribe;
+using pubsub::decode_sync_reply;
+using pubsub::DeliverMsg;
+using pubsub::PublishMsg;
+using pubsub::SubscribeMsg;
+using pubsub::SyncReplyMsg;
+using pubsub::SyncRequestMsg;
+using pubsub::UnsubscribeMsg;
+
+Event sample_event(int i) {
+  Event e("sensor.reading");
+  e.set("room", "r" + std::to_string(i % 5));
+  e.set("celsius", 19.5 + i);
+  e.set("floor", i - 2);  // negative for small i: exercises zigzag
+  e.set("occupied", i % 2 == 0);
+  e.set_time(1000 * i);
+  e.set_source("host-" + std::to_string(i % 3));
+  return e;
+}
+
+Filter sample_filter(int i) {
+  Filter f;
+  f.where("type", Op::kEq, "sensor.reading");
+  f.where("room", Op::kPrefix, "r" + std::to_string(i % 5));
+  f.where("celsius", Op::kGt, 20.0 + i);
+  return f;
+}
+
+// --- varint primitives ---------------------------------------------------
+
+TEST(Varint, SizeMatchesEncoding) {
+  for (std::uint64_t v : {0ull, 1ull, 127ull, 128ull, 300ull, 16383ull, 16384ull,
+                          (1ull << 32), ~0ull}) {
+    BufWriter w;
+    w.varint(v);
+    EXPECT_EQ(w.size(), varint_size(v)) << v;
+    BufReader r(w.data());
+    EXPECT_EQ(r.varint(), v);
+    EXPECT_TRUE(r.at_end());
+  }
+}
+
+TEST(Varint, ZigZagRoundTrip) {
+  for (std::int64_t v : {std::int64_t{0}, std::int64_t{-1}, std::int64_t{1},
+                         std::int64_t{-64}, std::int64_t{64},
+                         std::numeric_limits<std::int64_t>::min(),
+                         std::numeric_limits<std::int64_t>::max()}) {
+    EXPECT_EQ(unzigzag(zigzag(v)), v);
+    BufWriter w;
+    w.svarint(v);
+    BufReader r(w.data());
+    EXPECT_EQ(r.svarint(), v);
+  }
+  // Small magnitudes stay short — the point of the mapping.
+  EXPECT_EQ(varint_size(zigzag(-1)), 1u);
+  EXPECT_EQ(varint_size(zigzag(63)), 1u);
+}
+
+TEST(Varint, ReaderRejectsOverlongEncoding) {
+  Bytes overlong(11, 0x80);  // continuation bit forever
+  BufReader r(overlong);
+  r.varint();
+  EXPECT_TRUE(r.failed());
+}
+
+// --- binary event form ---------------------------------------------------
+
+TEST(BinaryEvent, RoundTripPreservesEquality) {
+  for (int i = 0; i < 20; ++i) {
+    const Event e = sample_event(i);
+    BufWriter w;
+    e.to_binary(w);
+    EXPECT_EQ(w.size(), e.binary_wire_size()) << "size must be exact";
+    BufReader r(w.data());
+    auto back = Event::from_binary(r);
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_TRUE(r.at_end());
+    EXPECT_EQ(back.value(), e);
+    EXPECT_EQ(back.value().describe(), e.describe());
+  }
+}
+
+TEST(BinaryEvent, CacheInvalidatedOnMutation) {
+  Event e = sample_event(1);
+  const std::size_t before = e.binary_wire_size();
+  e.set("extra", "payload-that-changes-the-size");
+  EXPECT_GT(e.binary_wire_size(), before);
+  BufWriter w;
+  e.to_binary(w);
+  EXPECT_EQ(w.size(), e.binary_wire_size());
+}
+
+TEST(BinaryEvent, DecodeRejectsBadTypeTag) {
+  BufWriter w;
+  w.varint(1);      // one attribute
+  w.vstr("name");
+  w.u8(9);          // no such ValueType
+  BufReader r(w.data());
+  EXPECT_FALSE(Event::from_binary(r).is_ok());
+}
+
+// --- exact binary sizes + round-trips for every message kind -------------
+
+template <typename Msg, typename Decode>
+void expect_exact_and_roundtrip(const Msg& m, Decode decode) {
+  const Codec& bin = binary_codec();
+  BufWriter w;
+  encode(w, bin, m);
+  // size() is the standalone datagram (one-member frame) cost; the body
+  // written by encode() accounts for all of it but the fixed envelope.
+  EXPECT_EQ(wire_size(bin, m), 4 + varint_size(w.size()) + w.size());
+  BufReader r(w.data());
+  auto back = decode(r, bin);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(BinaryCodec, SizesAreExactAndBodiesRoundTrip) {
+  const Codec& bin = binary_codec();
+  const SubscribeMsg sub{77, sample_filter(1)};
+  expect_exact_and_roundtrip(sub, [](BufReader& r, const Codec& c) {
+    return c.decode_subscribe(r);
+  });
+  expect_exact_and_roundtrip(AdvertiseMsg{301, sample_filter(2)},
+                             [](BufReader& r, const Codec& c) {
+                               return c.decode_advertise(r);
+                             });
+  expect_exact_and_roundtrip(UnsubscribeMsg{1u << 20},
+                             [](BufReader& r, const Codec& c) {
+                               return c.decode_unsubscribe(r);
+                             });
+  expect_exact_and_roundtrip(PublishMsg{sample_event(3), 999},
+                             [](BufReader& r, const Codec& c) {
+                               return c.decode_publish(r);
+                             });
+  expect_exact_and_roundtrip(DeliverMsg{sample_event(4)},
+                             [](BufReader& r, const Codec& c) {
+                               return c.decode_deliver(r);
+                             });
+  expect_exact_and_roundtrip(SyncRequestMsg{5},
+                             [](BufReader& r, const Codec& c) {
+                               return c.decode_sync_request(r);
+                             });
+  SyncReplyMsg reply;
+  reply.round = 6;
+  reply.subscriptions.push_back(SubscribeMsg{1, sample_filter(1)});
+  reply.subscriptions.push_back(SubscribeMsg{2, sample_filter(2)});
+  reply.advertisements.push_back(AdvertiseMsg{3, sample_filter(3)});
+  expect_exact_and_roundtrip(reply, [](BufReader& r, const Codec& c) {
+    return c.decode_sync_reply(r);
+  });
+
+  // Field-level check on one representative kind.
+  BufWriter w;
+  encode(w, bin, sub);
+  BufReader r(w.data());
+  auto back = decode_subscribe(r, bin);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().id, sub.id);
+  EXPECT_EQ(back.value().filter.describe(), sub.filter.describe());
+}
+
+TEST(BinaryCodec, BeatsXmlOnEverySampledMessage) {
+  for (int i = 0; i < 10; ++i) {
+    const PublishMsg pub{sample_event(i), static_cast<std::uint64_t>(i)};
+    EXPECT_LT(wire_size(binary_codec(), pub), wire_size(xml_codec(), pub));
+    const SubscribeMsg sub{static_cast<std::uint64_t>(i), sample_filter(i)};
+    EXPECT_LT(wire_size(binary_codec(), sub), wire_size(xml_codec(), sub));
+  }
+}
+
+// --- framing -------------------------------------------------------------
+
+std::vector<std::any> sample_bodies() {
+  std::vector<std::any> bodies;
+  bodies.emplace_back(SubscribeMsg{7, sample_filter(0)});
+  bodies.emplace_back(PublishMsg{sample_event(1), 41});
+  bodies.emplace_back(DeliverMsg{sample_event(2)});
+  bodies.emplace_back(UnsubscribeMsg{7});
+  bodies.emplace_back(SyncRequestMsg{3});
+  return bodies;
+}
+
+TEST(BinaryFrame, FrameSizeMatchesEncodedBytes) {
+  const Codec& bin = binary_codec();
+  const auto bodies = sample_bodies();
+  std::vector<std::size_t> datagrams;
+  datagrams.push_back(wire_size(bin, std::any_cast<const SubscribeMsg&>(bodies[0])));
+  datagrams.push_back(wire_size(bin, std::any_cast<const PublishMsg&>(bodies[1])));
+  datagrams.push_back(wire_size(bin, std::any_cast<const DeliverMsg&>(bodies[2])));
+  datagrams.push_back(wire_size(bin, std::any_cast<const UnsubscribeMsg&>(bodies[3])));
+  datagrams.push_back(wire_size(bin, std::any_cast<const SyncRequestMsg&>(bodies[4])));
+
+  auto frame = encode_frame(bin, bodies);
+  ASSERT_TRUE(frame.is_ok());
+  EXPECT_EQ(frame.value().size(), bin.frame_size(datagrams));
+  // Coalescing must beat sending the datagrams separately.
+  std::size_t separate = 0;
+  for (std::size_t d : datagrams) separate += d;
+  EXPECT_LT(frame.value().size(), separate);
+}
+
+TEST(BinaryFrame, DecodeRoundTripsEveryMember) {
+  const Codec& bin = binary_codec();
+  auto frame = encode_frame(bin, sample_bodies());
+  ASSERT_TRUE(frame.is_ok());
+  auto members = decode_frame(bin, frame.value());
+  ASSERT_TRUE(members.is_ok());
+  ASSERT_EQ(members.value().size(), 5u);
+  const auto* pub = std::any_cast<PublishMsg>(&members.value()[1]);
+  ASSERT_NE(pub, nullptr);
+  EXPECT_EQ(pub->pub_id, 41u);
+  EXPECT_EQ(pub->event, sample_event(1));
+  const auto* del = std::any_cast<DeliverMsg>(&members.value()[2]);
+  ASSERT_NE(del, nullptr);
+  EXPECT_EQ(del->event, sample_event(2));
+}
+
+TEST(BinaryFrame, XmlCodecHasNoByteLayout) {
+  EXPECT_FALSE(encode_frame(xml_codec(), sample_bodies()).is_ok());
+  Bytes dummy{0xB5, 0x01, 0x00};
+  EXPECT_FALSE(decode_frame(xml_codec(), dummy).is_ok());
+}
+
+TEST(BinaryFrame, RejectsForeignBody) {
+  std::vector<std::any> bodies;
+  bodies.emplace_back(std::string("not a pubsub message"));
+  EXPECT_FALSE(encode_frame(binary_codec(), bodies).is_ok());
+}
+
+// The binary analogue of the XML corpus SHA-1 pin: any change to the
+// frame layout, the member bodies, the varint form or the event binary
+// encoding shows up here as a digest mismatch and must bump the frame
+// version.
+TEST(BinaryFrame, GoldenByteFixture) {
+  std::vector<std::any> bodies;
+  for (int i = 0; i < 4; ++i) {
+    bodies.emplace_back(PublishMsg{sample_event(i), static_cast<std::uint64_t>(100 + i)});
+    bodies.emplace_back(SubscribeMsg{static_cast<std::uint64_t>(i), sample_filter(i)});
+  }
+  SyncReplyMsg reply;
+  reply.round = 9;
+  reply.subscriptions.push_back(SubscribeMsg{1, sample_filter(1)});
+  reply.advertisements.push_back(AdvertiseMsg{2, sample_filter(2)});
+  bodies.emplace_back(std::move(reply));
+
+  auto frame = encode_frame(binary_codec(), bodies);
+  ASSERT_TRUE(frame.is_ok());
+  ASSERT_FALSE(frame.value().empty());
+  EXPECT_EQ(frame.value()[0], 0xB5);  // magic
+  EXPECT_EQ(frame.value()[1], 0x01);  // version
+  EXPECT_EQ(Uid160::from_content(to_string(frame.value())).to_hex(),
+            "e71add379bcb860e35a5ed67b4c704b379d33cbc");
+}
+
+TEST(BinaryFrame, TruncationNeverCrashesAndAlwaysFails) {
+  auto frame = encode_frame(binary_codec(), sample_bodies());
+  ASSERT_TRUE(frame.is_ok());
+  const Bytes& full = frame.value();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    std::span<const std::uint8_t> prefix(full.data(), len);
+    EXPECT_FALSE(decode_frame(binary_codec(), prefix).is_ok()) << "len=" << len;
+  }
+}
+
+// Seeded corruption loop (runs under the asan preset via the `sanitize`
+// label): flip random bytes in a valid frame; decode must never read
+// out of bounds, loop, or crash — any result is acceptable as long as
+// re-encoding a successful decode is itself well-formed.
+TEST(BinaryFrame, CorruptionFuzzLoop) {
+  auto frame = encode_frame(binary_codec(), sample_bodies());
+  ASSERT_TRUE(frame.is_ok());
+  Rng rng(20260808);
+  for (int trial = 0; trial < 3000; ++trial) {
+    Bytes mutated = frame.value();
+    const int flips = 1 + static_cast<int>(rng.next() % 4);
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.next() % mutated.size();
+      mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.next() % 255);
+    }
+    auto decoded = decode_frame(binary_codec(), mutated);
+    if (decoded.is_ok()) {
+      auto re = encode_frame(binary_codec(), decoded.value());
+      EXPECT_TRUE(re.is_ok());
+    }
+  }
+}
+
+TEST(BinaryCodec, SyncReplyRejectsAbsurdCounts) {
+  BufWriter w;
+  w.varint(1);            // round
+  w.varint(1ull << 40);   // subscription count far past the cap
+  BufReader r(w.data());
+  EXPECT_FALSE(binary_codec().decode_sync_reply(r).is_ok());
+}
+
+// --- XML codec: legacy formulas and round-trips --------------------------
+
+// The chaos suite pins exact byte counters for clean unbatched XML runs
+// (Chaos.CleanNetworkTrafficBitIdenticalGolden); those counters assume
+// these size formulas, so they are part of the golden surface.
+TEST(XmlCodec, LegacySizeFormulasArePinned) {
+  const Codec& xml = xml_codec();
+  const Filter f = sample_filter(1);
+  const std::size_t filter_size = f.describe().size() + 16;
+  EXPECT_EQ(wire_size(xml, SubscribeMsg{1, f}), filter_size + 8);
+  EXPECT_EQ(wire_size(xml, AdvertiseMsg{1, f}), filter_size + 8);
+  EXPECT_EQ(wire_size(xml, UnsubscribeMsg{1}), 16u);
+  const Event e = sample_event(1);
+  EXPECT_EQ(wire_size(xml, PublishMsg{e, 7}), e.wire_size());
+  EXPECT_EQ(wire_size(xml, DeliverMsg{e}), e.wire_size());
+  EXPECT_EQ(wire_size(xml, SyncRequestMsg{1}), 16u);
+  SyncReplyMsg reply;
+  reply.round = 1;
+  reply.subscriptions.push_back(SubscribeMsg{1, f});
+  reply.advertisements.push_back(AdvertiseMsg{2, f});
+  EXPECT_EQ(wire_size(xml, reply), 24 + 2 * (filter_size + 8));
+}
+
+TEST(XmlCodec, BodiesRoundTrip) {
+  const Codec& xml = xml_codec();
+  {
+    BufWriter w;
+    encode(w, xml, PublishMsg{sample_event(2), 55});
+    BufReader r(w.data());
+    auto back = decode_publish(r, xml);
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(back.value().pub_id, 55u);
+    EXPECT_EQ(back.value().event, sample_event(2));
+  }
+  {
+    BufWriter w;
+    encode(w, xml, SubscribeMsg{9, sample_filter(3)});
+    BufReader r(w.data());
+    auto back = decode_subscribe(r, xml);
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(back.value().id, 9u);
+    EXPECT_EQ(back.value().filter.describe(), sample_filter(3).describe());
+  }
+  {
+    BufWriter w;
+    SyncReplyMsg reply;
+    reply.round = 4;
+    reply.subscriptions.push_back(SubscribeMsg{1, sample_filter(0)});
+    encode(w, xml, reply);
+    BufReader r(w.data());
+    auto back = decode_sync_reply(r, xml);
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(back.value().round, 4u);
+    ASSERT_EQ(back.value().subscriptions.size(), 1u);
+  }
+}
+
+// Cross-codec equivalence: a message carried over either codec decodes
+// to the same value — the wire form is a transport detail.
+TEST(CrossCodec, DecodedPayloadsAreIdentical) {
+  for (int i = 0; i < 8; ++i) {
+    const PublishMsg pub{sample_event(i), static_cast<std::uint64_t>(i)};
+    BufWriter wx, wb;
+    encode(wx, xml_codec(), pub);
+    encode(wb, binary_codec(), pub);
+    BufReader rx(wx.data()), rb(wb.data());
+    auto px = decode_publish(rx, xml_codec());
+    auto pb = decode_publish(rb, binary_codec());
+    ASSERT_TRUE(px.is_ok());
+    ASSERT_TRUE(pb.is_ok());
+    EXPECT_EQ(px.value().event, pb.value().event);
+    EXPECT_EQ(px.value().event.to_xml_string(), pb.value().event.to_xml_string());
+    EXPECT_EQ(px.value().pub_id, pb.value().pub_id);
+  }
+}
+
+// --- negotiation ---------------------------------------------------------
+
+TEST(CodecNames, RoundTrip) {
+  EXPECT_STREQ(codec_name(WireCodec::kXml), "xml");
+  EXPECT_STREQ(codec_name(WireCodec::kBinary), "binary");
+  ASSERT_TRUE(codec_from_name("binary").is_ok());
+  EXPECT_EQ(codec_from_name("binary").value(), WireCodec::kBinary);
+  ASSERT_TRUE(codec_from_name("xml").is_ok());
+  EXPECT_EQ(codec_from_name("xml").value(), WireCodec::kXml);
+  EXPECT_FALSE(codec_from_name("protobuf").is_ok());
+}
+
+TEST(CodecMap, LinkSpeaksBinaryOnlyWhenBothEndsDo) {
+  CodecMap map;
+  EXPECT_EQ(map.link(1, 2).id(), WireCodec::kXml);  // default default
+
+  map.set_default(WireCodec::kBinary);
+  EXPECT_EQ(map.link(1, 2).id(), WireCodec::kBinary);
+
+  // One legacy host degrades its links — and only its links — to XML.
+  map.set_host(2, WireCodec::kXml);
+  EXPECT_EQ(map.link(1, 2).id(), WireCodec::kXml);
+  EXPECT_EQ(map.link(2, 1).id(), WireCodec::kXml);  // symmetric
+  EXPECT_EQ(map.link(1, 3).id(), WireCodec::kBinary);
+
+  // set_default is a full reset: stale per-host overrides don't linger.
+  map.set_default(WireCodec::kBinary);
+  EXPECT_EQ(map.link(1, 2).id(), WireCodec::kBinary);
+}
+
+}  // namespace
+}  // namespace aa::wire

@@ -57,6 +57,39 @@ TEST(Gloss, ConstructsFullStack) {
   }
 }
 
+TEST(Gloss, CodecAndBatchingKnobsReachTheBus) {
+  // The facade knobs must actually change the wire path: binary +
+  // batching yields fewer bytes and coalesced frames for the same
+  // delivered events.
+  auto run = [](const std::string& codec, std::int64_t batch_window_us) {
+    auto cfg = small_config();
+    cfg.codec = codec;
+    cfg.batch_window_us = batch_window_us;
+    ActiveArchitecture arch(cfg);
+    int delivered = 0;
+    arch.subscribe_user(10, f("type = tick"), [&](const Event&) { ++delivered; });
+    arch.run_for(duration::seconds(5));
+    arch.network().reset_stats();
+    for (int i = 0; i < 20; ++i) {
+      Event e("tick");
+      e.set("n", i);
+      arch.publish(12, e);
+    }
+    arch.run_for(duration::seconds(10));
+    return std::make_pair(delivered, arch.metrics_snapshot());
+  };
+
+  const auto [xml_delivered, xml_metrics] = run("xml", -1);
+  const auto [bin_delivered, bin_metrics] = run("binary", 0);
+  EXPECT_EQ(xml_delivered, 20);
+  EXPECT_EQ(bin_delivered, 20);
+  EXPECT_LT(bin_metrics.counter("net.bytes_sent"), xml_metrics.counter("net.bytes_sent"));
+  EXPECT_EQ(xml_metrics.counter("net.batch.frames"), 0u);
+  EXPECT_GT(bin_metrics.counter("net.batch.frames"), 0u);
+  EXPECT_LT(bin_metrics.counter("net.packets_sent"),
+            bin_metrics.counter("net.messages_sent"));
+}
+
 TEST(Gloss, ServiceDeploysViaEvolutionAndMatches) {
   ActiveArchitecture arch(small_config());
   ServiceSpec spec;

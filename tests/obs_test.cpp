@@ -221,6 +221,54 @@ TEST(Metrics, HubSnapshotsEverySource) {
   EXPECT_EQ(reg.counter("custom.flag"), 1u);
 }
 
+TEST(Metrics, NetworkExportIncludesBatchCounters) {
+  obs::MetricsHub hub;
+  sim::NetworkStats net;
+  net.messages_sent = 10;
+  net.frames_sent = 2;
+  net.batched_messages = 6;
+  net.batch_flushes = 3;
+  hub.add_stats("net", net);
+  const sim::MetricsRegistry reg = hub.snapshot();
+  EXPECT_EQ(reg.counter("net.batch.frames"), 2u);
+  EXPECT_EQ(reg.counter("net.batch.members"), 6u);
+  EXPECT_EQ(reg.counter("net.batch.flushes"), 3u);
+  // 10 messages, 6 of which coalesced into 2 frames: 6 physical packets.
+  EXPECT_EQ(reg.counter("net.packets_sent"), 6u);
+}
+
+TEST(Tracing, BatchedFrameRecordsOneWireSpanForAllMembers) {
+  sim::Scheduler sched;
+  auto topo = std::make_shared<sim::UniformTopology>(2, duration::millis(5));
+  sim::Network net(sched, topo);
+  net.enable_tracing();
+  net.enable_batching();
+  int got = 0;
+  net.register_handler(1, "t", [&](const sim::Packet&) { ++got; });
+  sched.after(1, [&] {
+    sim::Network::TraceScope root(net, net.start_trace());
+    net.send(0, 1, "t", 1, 100);
+    net.send(0, 1, "t", 2, 100);
+    net.send(0, 1, "t", 3, 100);
+  });
+  sched.run();
+  ASSERT_EQ(got, 3);
+  const obs::TraceCollector* tc = net.tracer();
+  ASSERT_NE(tc, nullptr);
+  int wire_spans = 0;
+  bool batch_annotated = false;
+  for (const obs::Span& s : tc->spans()) {
+    if (s.action != "wire") continue;
+    ++wire_spans;
+    if (s.detail.find("batch:3") != std::string::npos) batch_annotated = true;
+  }
+  // One physical hop, one wire span — members don't fake three.
+  EXPECT_EQ(wire_spans, 1);
+  EXPECT_TRUE(batch_annotated);
+  std::istringstream in(tc->chrome_json());
+  EXPECT_TRUE(obs::validate_chrome_trace(in).empty());
+}
+
 // --- Logger sim-time clock (satellite a) ---
 
 TEST(Logging, ClockPrefixesLinesWithSimTime) {

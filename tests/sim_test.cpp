@@ -962,5 +962,216 @@ TEST(Metrics, CountersAccumulate) {
   EXPECT_EQ(m.counter("missing"), 0u);
 }
 
+// --- Per-link batching (Network::enable_batching) ---
+
+TEST(Batching, CoalescesSameWindowSendsIntoOneFrame) {
+  NetFixture f;
+  std::vector<int> got;
+  f.net.register_handler(1, "t", [&](const Packet& p) { got.push_back(*packet_body<int>(p)); });
+  f.net.enable_batching();
+  f.net.send(0, 1, "t", 1, 100);
+  f.net.send(0, 1, "t", 2, 100);
+  f.net.send(0, 1, "t", 3, 100);
+  f.sched.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));  // member order preserved
+  const NetworkStats s = f.net.stats();
+  EXPECT_EQ(s.messages_sent, 3u);
+  EXPECT_EQ(s.messages_delivered, 3u);
+  EXPECT_EQ(s.frames_sent, 1u);
+  EXPECT_EQ(s.batched_messages, 3u);
+  EXPECT_EQ(s.batch_flushes, 1u);
+  EXPECT_EQ(s.packets_sent(), 1u);  // one physical packet for 3 messages
+}
+
+TEST(Batching, SingleMessageFlushesAsPlainDatagram) {
+  NetFixture f;
+  int got = 0;
+  f.net.register_handler(1, "t", [&](const Packet&) { ++got; });
+  f.net.enable_batching();
+  f.net.send(0, 1, "t", 1, 250);
+  f.sched.run();
+  EXPECT_EQ(got, 1);
+  const NetworkStats s = f.net.stats();
+  EXPECT_EQ(s.frames_sent, 0u);  // never inflated into a frame of one
+  EXPECT_EQ(s.batched_messages, 0u);
+  EXPECT_EQ(s.batch_flushes, 1u);
+  EXPECT_EQ(s.bytes_sent, 250u);  // exact datagram cost, no envelope
+  EXPECT_EQ(s.packets_sent(), 1u);
+}
+
+TEST(Batching, LoopbackBypassesStaging) {
+  NetFixture f;
+  int got = 0;
+  f.net.register_handler(0, "t", [&](const Packet&) { ++got; });
+  f.net.enable_batching();
+  f.net.send(0, 0, "t", 1, 10);
+  f.sched.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(f.net.stats().batch_flushes, 0u);
+}
+
+TEST(Batching, DistinctLinksGetDistinctFrames) {
+  NetFixture f;
+  int got = 0;
+  for (HostId h = 1; h <= 2; ++h) {
+    f.net.register_handler(h, "t", [&](const Packet&) { ++got; });
+  }
+  f.net.enable_batching();
+  f.net.send(0, 1, "t", 1, 50);
+  f.net.send(0, 1, "t", 2, 50);
+  f.net.send(0, 2, "t", 3, 50);
+  f.net.send(0, 2, "t", 4, 50);
+  f.net.send(1, 2, "t", 5, 50);
+  f.sched.run();
+  EXPECT_EQ(got, 5);
+  const NetworkStats s = f.net.stats();
+  EXPECT_EQ(s.batch_flushes, 3u);  // (0,1), (0,2), (1,2)
+  EXPECT_EQ(s.frames_sent, 2u);    // the two 2-member links
+  EXPECT_EQ(s.batched_messages, 4u);
+  EXPECT_EQ(s.packets_sent(), 3u);
+}
+
+TEST(Batching, DefaultSizerChargesSharedHeader) {
+  NetFixture f;
+  f.net.register_handler(1, "t", [](const Packet&) {});
+  f.net.enable_batching();  // default model: 16 + per-member (size + 2)
+  f.net.send(0, 1, "t", 1, 100);
+  f.net.send(0, 1, "t", 2, 200);
+  f.sched.run();
+  EXPECT_EQ(f.net.stats().bytes_sent, 16u + (100 + 2) + (200 + 2));
+}
+
+TEST(Batching, CustomFrameSizerIsUsed) {
+  NetFixture f;
+  f.net.register_handler(1, "t", [](const Packet&) {});
+  f.net.enable_batching(0, [](std::span<const std::size_t> sizes) {
+    std::size_t total = 1000;  // deliberately weird model
+    for (std::size_t d : sizes) total += d;
+    return total;
+  });
+  f.net.send(0, 1, "t", 1, 10);
+  f.net.send(0, 1, "t", 2, 20);
+  f.sched.run();
+  EXPECT_EQ(f.net.stats().bytes_sent, 1030u);
+}
+
+TEST(Batching, WindowDelaysFlush) {
+  NetFixture f;  // link latency 1000
+  SimTime delivered_at = -1;
+  f.net.register_handler(1, "t", [&](const Packet&) { delivered_at = f.sched.now(); });
+  f.net.enable_batching(500);
+  f.net.send(0, 1, "t", 1, 10);
+  f.sched.run();
+  EXPECT_GE(delivered_at, 1500);  // staged 500, then the link latency
+}
+
+TEST(Batching, FaultDropLosesWholeFrame) {
+  NetFixture f;
+  int got = 0;
+  f.net.register_handler(1, "t", [&](const Packet&) { ++got; });
+  LinkFaults faults;
+  faults.drop = 1.0;
+  f.net.set_link_faults(faults);
+  f.net.enable_batching();
+  f.net.send(0, 1, "t", 1, 10);
+  f.net.send(0, 1, "t", 2, 10);
+  f.net.send(0, 1, "t", 3, 10);
+  f.sched.run();
+  EXPECT_EQ(got, 0);
+  const NetworkStats s = f.net.stats();
+  EXPECT_EQ(s.frames_sent, 1u);
+  EXPECT_EQ(s.dropped_by_fault, 3u);  // one draw, three members lost
+}
+
+TEST(Batching, DuplicateCopiesWholeFrame) {
+  NetFixture f;
+  int got = 0;
+  f.net.register_handler(1, "t", [&](const Packet&) { ++got; });
+  LinkFaults faults;
+  faults.duplicate = 1.0;
+  f.net.set_link_faults(faults);
+  f.net.enable_batching();
+  f.net.send(0, 1, "t", 1, 10);
+  f.net.send(0, 1, "t", 2, 10);
+  f.sched.run();
+  EXPECT_EQ(got, 4);  // both members arrive twice
+  EXPECT_EQ(f.net.stats().duplicated, 2u);
+}
+
+TEST(Batching, SenderCrashBeforeFlushDropsStagedMembers) {
+  NetFixture f;
+  int got = 0;
+  f.net.register_handler(1, "t", [&](const Packet&) { ++got; });
+  f.net.enable_batching(500);
+  f.net.send(0, 1, "t", 1, 10);
+  f.sched.after(100, [&] { f.net.set_host_up(0, false); });
+  f.sched.run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(f.net.stats().messages_dropped, 1u);
+}
+
+TEST(Batching, DisableRestoresDatagramPath) {
+  NetFixture f;
+  int got = 0;
+  f.net.register_handler(1, "t", [&](const Packet&) { ++got; });
+  f.net.enable_batching();
+  f.net.disable_batching();
+  f.net.send(0, 1, "t", 1, 10);
+  f.net.send(0, 1, "t", 2, 10);
+  f.sched.run();
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(f.net.stats().batch_flushes, 0u);
+  EXPECT_EQ(f.net.stats().frames_sent, 0u);
+}
+
+// Batched fan-out must stay bit-identical across shard counts: flushes
+// are posted to the staging host's shard, so member order, fault draws
+// and counters cannot depend on thread interleaving.
+TEST(Batching, DeterministicAcrossShards) {
+  auto run = [](unsigned threads) {
+    Scheduler sched;
+    auto topo = std::make_shared<UniformTopology>(6, duration::millis(2));
+    Network net(sched, topo);
+    LinkFaults f;
+    f.drop = 0.1;
+    f.duplicate = 0.05;
+    f.seed = 7;
+    net.set_link_faults(f);
+    net.enable_batching();
+    net.set_threads(threads);
+    std::vector<std::vector<std::string>> logs(6);
+    for (HostId h = 0; h < 6; ++h) {
+      net.register_handler(h, "relay", [&net, &logs, h](const Packet& pk) {
+        const int ttl = *packet_body<int>(pk);
+        logs[h].push_back("h" + std::to_string(pk.src) + ":" + std::to_string(ttl));
+        if (ttl > 0) {
+          for (HostId n = 0; n < 6; ++n) {
+            if (n != h) net.send(h, n, "relay", ttl - 1, 64);
+          }
+        }
+      });
+    }
+    for (HostId h = 0; h < 6; ++h) net.send(5 - h, h, "relay", 2, 64);
+    sched.run();
+    std::string digest;
+    for (auto& log : logs) {
+      std::sort(log.begin(), log.end());
+      for (const std::string& line : log) digest += line + "\n";
+      digest += "--\n";
+    }
+    return std::make_pair(digest, net.stats());
+  };
+  const auto [seq_digest, seq_stats] = run(1);
+  ASSERT_GT(seq_stats.frames_sent, 0u);  // batching actually engaged
+  for (unsigned threads : {2u, 4u}) {
+    const auto [par_digest, par_stats] = run(threads);
+    EXPECT_EQ(par_digest, seq_digest) << threads;
+    EXPECT_EQ(par_stats.frames_sent, seq_stats.frames_sent) << threads;
+    EXPECT_EQ(par_stats.batched_messages, seq_stats.batched_messages) << threads;
+    EXPECT_EQ(par_stats.dropped_by_fault, seq_stats.dropped_by_fault) << threads;
+    EXPECT_EQ(par_stats.bytes_sent, seq_stats.bytes_sent) << threads;
+  }
+}
+
 }  // namespace
 }  // namespace aa::sim

@@ -26,6 +26,10 @@ import sys
 # Keys matching these globs are informational: reported, never fatal.
 # The profiler keys (busy/barrier_wait/serialization/merge) are real
 # wall-clock attribution, so they vary with runner load like wall_us.
+# The codec.* and batch.* keys (C7 section e, C1 section f) are byte
+# and packet counts from the deterministic simulator — deliberately
+# absent here so the >=2x binary reduction and the batching
+# packets-per-delivery win stay gated.
 NOISY = ["*wall_us", "*us_per_event*", "*events_per_sec*", "*speedup*",
          "*.hardware_threads", "*busy_us", "*barrier_wait_us",
          "*serialization_us", "*merge_us", "*us_per_doc*"]
